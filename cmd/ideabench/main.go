@@ -1,0 +1,78 @@
+// Command ideabench regenerates the paper's evaluation figures (Section
+// 7) on the simulated cluster. Each experiment prints a table whose rows
+// mirror the paper's series.
+//
+// Usage:
+//
+//	ideabench -list
+//	ideabench -experiment fig24 -scale 0.01 -v
+//	ideabench -experiment all -scale 0.005
+//	ideabench -experiment fig31 -nodes 2,4,8 -tweets 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ideadb/idea/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (see -list) or 'all' for every figure")
+		scale      = flag.Float64("scale", 0.01, "fraction of the paper's dataset/tweet sizes")
+		nodesCSV   = flag.String("nodes", "", "override node-count sweep, e.g. 2,4,8")
+		tweets     = flag.Int("tweets", 0, "override tweet count (0 = figure default × scale)")
+		seed       = flag.Int64("seed", 2019, "workload random seed")
+		verbose    = flag.Bool("v", false, "stream per-cell progress")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "ideabench: -experiment required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{
+		Scale:   *scale,
+		Tweets:  *tweets,
+		Seed:    *seed,
+		Verbose: *verbose,
+		Out:     os.Stderr,
+	}
+	if *nodesCSV != "" {
+		for _, part := range strings.Split(*nodesCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "ideabench: bad -nodes value %q\n", part)
+				os.Exit(2)
+			}
+			opts.Nodes = append(opts.Nodes, n)
+		}
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "running %s (scale %g)...\n", name, *scale)
+		table, err := experiments.Run(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ideabench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		table.Print(os.Stdout)
+	}
+}

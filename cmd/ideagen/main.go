@@ -1,0 +1,40 @@
+// Command ideagen emits the synthetic tweet workload as JSON lines —
+// pipe it into a socket feed (see cmd/ideafeed) or use it to eyeball the
+// record shapes the benchmarks ingest.
+//
+// Usage:
+//
+//	ideagen -n 1000 | head -3
+//	ideagen -n 100000 | nc 127.0.0.1 10001
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ideadb/idea/internal/workload"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 1000, "number of tweets")
+		seed  = flag.Int64("seed", 2019, "random seed")
+		scale = flag.Float64("scale", 0.01, "reference-data scale (controls the country key space)")
+		base  = flag.Int64("base", 0, "first tweet id")
+	)
+	flag.Parse()
+
+	g := workload.NewGenerator(*seed, workload.Scaled(*scale))
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	for i := 0; i < *n; i++ {
+		w.Write(g.TweetJSON(*base + int64(i)))
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "ideagen: %v\n", err)
+		os.Exit(1)
+	}
+}

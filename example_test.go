@@ -1,0 +1,80 @@
+package idea_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ideadb/idea"
+)
+
+// Example reproduces the paper's running example end to end: a stateful
+// SQL++ safety-check UDF attached to a feed, with a reference-data
+// update observed by later batches.
+func Example() {
+	c, err := idea.NewCluster(idea.Config{Nodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.MustExecute(`
+		CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+		CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+		CREATE TYPE WordType AS OPEN { id: int64, country: string, word: string };
+		CREATE DATASET SensitiveWords(WordType) PRIMARY KEY id;
+		INSERT INTO SensitiveWords ([{"id": 1, "country": "US", "word": "bomb"}]);
+		CREATE FUNCTION tweetSafetyCheck(tweet) {
+			LET safety_check_flag = CASE
+				EXISTS(SELECT s FROM SensitiveWords s
+					WHERE tweet.country = s.country AND contains(tweet.text, s.word))
+				WHEN true THEN "Red" ELSE "Green" END
+			SELECT tweet.*, safety_check_flag
+		};
+		CREATE FEED TweetFeed WITH { "adapter-name": "channel_adapter" };
+		CONNECT FEED TweetFeed TO DATASET EnrichedTweets APPLY FUNCTION tweetSafetyCheck;
+	`)
+	records := [][]byte{
+		[]byte(`{"id": 1, "text": "a bomb threat", "country": "US"}`),
+		[]byte(`{"id": 2, "text": "a sunny day", "country": "US"}`),
+	}
+	if err := c.SetFeedSource("TweetFeed", func(int) (idea.FeedSource, error) {
+		return &idea.RecordsSource{Records: records}, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	feeds := c.MustExecute(`START FEED TweetFeed;`)
+	if err := feeds[0].Wait(); err != nil {
+		log.Fatal(err)
+	}
+	rows, err := c.Query(`
+		SELECT e.id AS id, e.safety_check_flag AS flag
+		FROM EnrichedTweets e ORDER BY e.id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Printf("tweet %d: %s\n", row.Field("id").Int(), row.Field("flag").Str())
+	}
+	// Output:
+	// tweet 1: Red
+	// tweet 2: Green
+}
+
+// ExampleCluster_Query shows Option 1 — enriching lazily at query time
+// with a UDF call inside the analytical query (the paper's Figure 9).
+func ExampleCluster_Query() {
+	c, err := idea.NewCluster(idea.Config{Nodes: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.MustExecute(`
+		CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+		CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+		CREATE FUNCTION shout(t) { upper(t.text) };
+		INSERT INTO Tweets ([{"id": 1, "text": "let there be light"}]);
+	`)
+	rows, err := c.Query(`SELECT VALUE shout(t) FROM Tweets t`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rows[0].Str())
+	// Output: LET THERE BE LIGHT
+}

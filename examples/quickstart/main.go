@@ -1,0 +1,75 @@
+// Quickstart: declare a schema with SQL++ DDL, attach an enrichment UDF
+// to a feed, stream records through the decoupled ingestion pipeline,
+// and query the enriched results — the whole paper in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ideadb/idea"
+)
+
+func main() {
+	c, err := idea.NewCluster(idea.Config{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 1 + Figure 6 of the paper: an open tweet type and the
+	// stateless safety-check UDF.
+	c.MustExecute(`
+		CREATE TYPE TweetType AS OPEN {
+			id : int64,
+			text: string
+		};
+		CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+		CREATE FUNCTION USTweetSafetyCheck(tweet) {
+			LET safety_check_flag =
+				CASE tweet.country = "US" AND contains(tweet.text, "bomb")
+				WHEN true THEN "Red" ELSE "Green"
+				END
+			SELECT tweet.*, safety_check_flag
+		};
+		CREATE FEED TweetFeed WITH {
+			"adapter-name": "channel_adapter",
+			"type-name": "TweetType"
+		};
+		CONNECT FEED TweetFeed TO DATASET EnrichedTweets
+			APPLY FUNCTION USTweetSafetyCheck;
+	`)
+
+	// Stream a small firehose through the feed.
+	var tweets [][]byte
+	for i := 0; i < 1000; i++ {
+		text := "let there be light"
+		if i%25 == 0 {
+			text = "there is a bomb"
+		}
+		tweets = append(tweets, []byte(fmt.Sprintf(
+			`{"id":%d,"text":"%s","country":"US"}`, i, text)))
+	}
+	if err := c.SetFeedSource("TweetFeed", func(int) (idea.FeedSource, error) {
+		return &idea.RecordsSource{Records: tweets}, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	feeds := c.MustExecute(`START FEED TweetFeed;`)
+	if err := feeds[0].Wait(); err != nil {
+		log.Fatal(err)
+	}
+	_, stored, jobs, _ := feeds[0].Stats()
+	fmt.Printf("stored %d enriched tweets via %d computing-job invocations\n", stored, jobs)
+
+	rows, err := c.Query(`
+		SELECT e.safety_check_flag AS flag, count(*) AS num
+		FROM EnrichedTweets e
+		GROUP BY e.safety_check_flag
+		ORDER BY e.safety_check_flag DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Printf("%-6s %d\n", row.Field("flag").Str(), row.Field("num").Int())
+	}
+}

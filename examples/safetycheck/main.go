@@ -1,0 +1,103 @@
+// Safetycheck demonstrates the paper's central capability: a *stateful*
+// SQL++ UDF (the Figure 8 tweet safety check, which joins against a
+// SensitiveWords dataset) attached to a live feed, with the reference
+// data updated mid-stream. The per-batch state refresh of the dynamic
+// ingestion framework makes the update visible to later batches — the
+// exact behaviour the old streaming pipeline cannot provide (it rejects
+// this UDF outright).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/ideadb/idea"
+)
+
+func main() {
+	// Small frames so the demo's trickle flushes promptly.
+	c, err := idea.NewCluster(idea.Config{Nodes: 3, FrameCapacity: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.MustExecute(`
+		CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+		CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+		CREATE TYPE WordType AS OPEN { id: int64, country: string, word: string };
+		CREATE DATASET SensitiveWords(WordType) PRIMARY KEY id;
+		INSERT INTO SensitiveWords ([
+			{"id": 1, "country": "US", "word": "bomb"}
+		]);
+		CREATE FUNCTION tweetSafetyCheck(tweet) {
+			LET safety_check_flag = CASE
+				EXISTS(SELECT s FROM SensitiveWords s
+					WHERE tweet.country = s.country AND contains(tweet.text, s.word))
+				WHEN true THEN "Red" ELSE "Green" END
+			SELECT tweet.*, safety_check_flag
+		};
+		CREATE FEED TweetFeed WITH {
+			"adapter-name": "channel_adapter",
+			"batch-size": 64
+		};
+		CONNECT FEED TweetFeed TO DATASET EnrichedTweets APPLY FUNCTION tweetSafetyCheck;
+	`)
+
+	ch := make(chan []byte)
+	if err := c.SetFeedSource("TweetFeed", func(int) (idea.FeedSource, error) {
+		return &idea.ChannelSource{C: ch}, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	feeds := c.MustExecute(`START FEED TweetFeed;`)
+
+	// Phase 1: "storm" is not yet a sensitive word.
+	send := func(base, n int, text string) {
+		for i := 0; i < n; i++ {
+			ch <- []byte(fmt.Sprintf(`{"id":%d,"text":"a %s is coming","country":"US"}`, base+i, text))
+		}
+	}
+	send(0, 500, "storm")
+	waitFor(c, 400)
+
+	// Update the reference data mid-feed: UPSERT a new keyword (the
+	// paper's Section 3.3 scenario). No redeployment, no feed restart.
+	c.MustExecute(`UPSERT INTO SensitiveWords ([
+		{"id": 2, "country": "US", "word": "storm"}
+	]);`)
+	fmt.Println("upserted new sensitive word 'storm' while the feed is running")
+
+	// Phase 2: the same text is now flagged Red by later batches.
+	send(1000, 500, "storm")
+	close(ch)
+	if err := feeds[0].Wait(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, probe := range []int64{0, 1400} {
+		rec, found, err := c.Get("EnrichedTweets", idea.Int64(probe))
+		if err != nil || !found {
+			log.Fatalf("tweet %d missing: %v", probe, err)
+		}
+		fmt.Printf("tweet %4d: flag=%s\n", probe, rec.Field("safety_check_flag").Str())
+	}
+	rows, err := c.Query(`
+		SELECT e.safety_check_flag AS flag, count(*) AS num
+		FROM EnrichedTweets e GROUP BY e.safety_check_flag ORDER BY e.safety_check_flag`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Printf("%-6s %d\n", row.Field("flag").Str(), row.Field("num").Int())
+	}
+}
+
+// waitFor polls until the enriched dataset holds at least n records.
+func waitFor(c *idea.Cluster, n int) {
+	for {
+		if got, _ := c.DatasetLen("EnrichedTweets"); got >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,263 @@
+// Package idea is a Go reproduction of the data-enrichment ingestion
+// framework from "An IDEA: An Ingestion Framework for Data Enrichment in
+// AsterixDB" (Wang & Carey, PVLDB 12(11), 2019).
+//
+// A Cluster simulates an N-node AsterixDB deployment: declare types,
+// datasets, indexes, and UDFs with SQL++ DDL; attach UDFs to feeds; and
+// ingest live data through the paper's decoupled intake / computing /
+// storage pipeline, whose per-batch state refresh lets stateful
+// enrichment observe reference-data updates. See README.md for a
+// walkthrough and DESIGN.md for the architecture.
+package idea
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/cluster"
+	"github.com/ideadb/idea/internal/core"
+	"github.com/ideadb/idea/internal/query"
+	"github.com/ideadb/idea/internal/udf"
+)
+
+// Config sizes and tunes a simulated cluster. The zero value is usable:
+// one node with default tuning.
+type Config struct {
+	// Nodes is the simulated cluster size (default 1).
+	Nodes int
+	// DispatchOverheadPerNode simulates per-node job compile-and-
+	// distribute cost; InvokeOverheadPerNode the (cheaper) predeployed-
+	// job invocation message. Defaults model a LAN deployment.
+	DispatchOverheadPerNode time.Duration
+	// InvokeOverheadPerNode — see DispatchOverheadPerNode.
+	InvokeOverheadPerNode time.Duration
+	// HolderCapacity bounds partition-holder queues in frames (default
+	// 64).
+	HolderCapacity int
+	// FrameCapacity is records per frame (default 128).
+	FrameCapacity int
+	// WALGroupCommit is the simulated storage-log flush latency charged
+	// once per stored frame (default 0).
+	WALGroupCommit time.Duration
+}
+
+// Cluster is a running simulated deployment plus its feed manager.
+type Cluster struct {
+	inner *cluster.Cluster
+	mgr   *core.Manager
+	ctx   context.Context
+}
+
+// NewCluster boots a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	tuning := cluster.DefaultTuning()
+	if cfg.DispatchOverheadPerNode > 0 {
+		tuning.DispatchOverheadPerNode = cfg.DispatchOverheadPerNode
+	}
+	if cfg.InvokeOverheadPerNode > 0 {
+		tuning.InvokeOverheadPerNode = cfg.InvokeOverheadPerNode
+	}
+	if cfg.HolderCapacity > 0 {
+		tuning.HolderCapacity = cfg.HolderCapacity
+	}
+	if cfg.FrameCapacity > 0 {
+		tuning.FrameCapacity = cfg.FrameCapacity
+	}
+	tuning.Storage.GroupCommit = cfg.WALGroupCommit
+	inner, err := cluster.New(cfg.Nodes, tuning)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		inner: inner,
+		mgr:   core.NewManager(inner),
+		ctx:   context.Background(),
+	}, nil
+}
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return c.inner.NumNodes() }
+
+// FeedSource supplies raw records to a feed: Run emits one record per
+// call until the source is exhausted or ctx is canceled; emit blocks for
+// backpressure. It is the public face of the paper's feed adapter.
+type FeedSource interface {
+	Run(ctx context.Context, emit func(record []byte) error) error
+}
+
+// sourceAdapter bridges FeedSource to the internal adapter interface.
+type sourceAdapter struct{ src FeedSource }
+
+func (a sourceAdapter) Run(ctx context.Context, emit func([]byte) error) error {
+	return a.src.Run(ctx, emit)
+}
+
+// RecordsSource replays a fixed record slice (bulk generators, tests).
+type RecordsSource struct {
+	// Records are emitted in order.
+	Records [][]byte
+}
+
+// Run implements FeedSource.
+func (s *RecordsSource) Run(ctx context.Context, emit func([]byte) error) error {
+	return (&core.GeneratorAdapter{Records: s.Records}).Run(ctx, emit)
+}
+
+// ChannelSource emits records pushed into C; close the channel to end
+// the feed gracefully.
+type ChannelSource struct {
+	// C supplies the records.
+	C <-chan []byte
+}
+
+// Run implements FeedSource.
+func (s *ChannelSource) Run(ctx context.Context, emit func([]byte) error) error {
+	return (&core.ChannelAdapter{C: s.C}).Run(ctx, emit)
+}
+
+// SetFeedSource installs the source factory for a declared feed whose
+// adapter is "channel_adapter" (socket feeds configure themselves from
+// the DDL). The factory is invoked once per intake node.
+func (c *Cluster) SetFeedSource(feed string, factory func(node int) (FeedSource, error)) error {
+	return c.mgr.SetAdapterFactory(feed, func(i int) (core.Adapter, error) {
+		src, err := factory(i)
+		if err != nil {
+			return nil, err
+		}
+		return sourceAdapter{src}, nil
+	})
+}
+
+// NativeUDF is the compiled-code UDF contract (the paper's Java UDF):
+// Initialize loads resources and builds state; Evaluate enriches one
+// record. On the dynamic pipeline a fresh instance is initialized per
+// batch, so updated resources are observed; see RegisterNativeUDF.
+type NativeUDF interface {
+	Initialize(node int) error
+	Evaluate(record Value) (Value, error)
+}
+
+type nativeShim struct{ impl NativeUDF }
+
+func (s nativeShim) Initialize(node int) error { return s.impl.Initialize(node) }
+func (s nativeShim) Evaluate(rec adm.Value) (adm.Value, error) {
+	out, err := s.impl.Evaluate(Value{rec})
+	if err != nil {
+		return adm.Value{}, err
+	}
+	return out.v, nil
+}
+
+// RegisterNativeUDF registers a compiled UDF usable in CONNECT FEED ...
+// APPLY FUNCTION. stateful declares that Initialize builds state that
+// must be refreshed to observe updates.
+func (c *Cluster) RegisterNativeUDF(name string, stateful bool, newInstance func() NativeUDF) error {
+	return c.mgr.Natives.Register(&udf.Native{
+		Name:     name,
+		Stateful: stateful,
+		New: func() udf.Instance {
+			return nativeShim{impl: newInstance()}
+		},
+	})
+}
+
+// PutResource installs (or replaces) a named resource "file" that native
+// UDFs read in Initialize — the paper's node-local resource files.
+func (c *Cluster) PutResource(name string, data []byte) {
+	c.mgr.Resources.Put(name, data)
+}
+
+// Resource reads a resource file's current content as lines.
+func (c *Cluster) Resource(name string) ([]string, bool) {
+	return c.mgr.Resources.Lines(name)
+}
+
+// RegisterLibraryFunction registers a namespaced scalar function callable
+// from SQL++ as ns#name(args...) — the Figure 35 pattern.
+func (c *Cluster) RegisterLibraryFunction(ns, name string, fn func(args []Value) (Value, error)) {
+	c.inner.RegisterNative(ns, name, func(args []adm.Value) (adm.Value, error) {
+		wrapped := make([]Value, len(args))
+		for i, a := range args {
+			wrapped[i] = Value{a}
+		}
+		out, err := fn(wrapped)
+		if err != nil {
+			return adm.Value{}, err
+		}
+		return out.v, nil
+	})
+}
+
+// Feed is a handle on a running feed pipeline.
+type Feed struct {
+	name string
+	c    *Cluster
+}
+
+// Stop gracefully stops the feed and waits for in-flight data to drain
+// to storage.
+func (f *Feed) Stop() error { return f.c.mgr.StopFeed(f.name) }
+
+// Wait blocks until the feed's source is exhausted and everything is
+// stored (generator-style sources). Socket/channel feeds need Stop (or a
+// closed channel) to terminate.
+func (f *Feed) Wait() error {
+	inner, ok := f.c.mgr.Feed(f.name)
+	if !ok {
+		return fmt.Errorf("idea: feed %q is not running", f.name)
+	}
+	return inner.Wait()
+}
+
+// Stats reports the feed's live counters.
+func (f *Feed) Stats() (ingested, stored, invocations int64, refresh time.Duration) {
+	inner, ok := f.c.mgr.Feed(f.name)
+	if !ok {
+		return 0, 0, 0, 0
+	}
+	s := inner.Stats()
+	return s.Ingested.Load(), s.Stored.Load(), s.Invocations.Load(), s.RefreshPeriod()
+}
+
+// DatasetLen returns the number of live records in a dataset.
+func (c *Cluster) DatasetLen(name string) (int, error) {
+	ds, ok := c.inner.Dataset(name)
+	if !ok {
+		return 0, fmt.Errorf("idea: unknown dataset %q", name)
+	}
+	return ds.Len(), nil
+}
+
+// Get fetches one record by primary key.
+func (c *Cluster) Get(dataset string, pk Value) (Value, bool, error) {
+	ds, ok := c.inner.Dataset(dataset)
+	if !ok {
+		return Value{}, false, fmt.Errorf("idea: unknown dataset %q", dataset)
+	}
+	rec, found := ds.Get(pk.v)
+	return Value{rec}, found, nil
+}
+
+// CallFunction invokes a catalog UDF directly (handy for testing
+// enrichment logic outside a pipeline). The result is the function's
+// value — for the paper-style UDFs, a one-element collection.
+func (c *Cluster) CallFunction(name string, args ...Value) (Value, error) {
+	fn, ok := c.inner.Function(name)
+	if !ok {
+		return Value{}, fmt.Errorf("idea: unknown function %q", name)
+	}
+	converted := make([]adm.Value, len(args))
+	for i, a := range args {
+		converted[i] = a.v
+	}
+	out, err := query.Call(c.inner, fn, converted)
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{out}, nil
+}

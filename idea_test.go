@@ -1,0 +1,308 @@
+package idea
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestCluster returns a fast 2-node cluster.
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{
+		Nodes:                   2,
+		DispatchOverheadPerNode: 1, // effectively zero but exercises the path
+		InvokeOverheadPerNode:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+const paperSchema = `
+CREATE TYPE TweetType AS OPEN {
+	id : int64,
+	text: string
+};
+CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+CREATE TYPE WordType AS OPEN { id: int64, country: string, word: string };
+CREATE DATASET SensitiveWords(WordType) PRIMARY KEY id;
+CREATE FUNCTION tweetSafetyCheck(tweet) {
+	LET safety_check_flag = CASE
+		EXISTS(SELECT s FROM SensitiveWords s
+			WHERE tweet.country = s.country AND contains(tweet.text, s.word))
+		WHEN true THEN "Red" ELSE "Green" END
+	SELECT tweet.*, safety_check_flag
+};
+INSERT INTO SensitiveWords ([
+	{"id": 1, "country": "US", "word": "bomb"},
+	{"id": 2, "country": "FR", "word": "attaque"}
+]);
+`
+
+func TestExecuteDDLAndInsert(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.Execute(paperSchema); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.DatasetLen("SensitiveWords")
+	if err != nil || n != 2 {
+		t.Fatalf("SensitiveWords len = %d, %v", n, err)
+	}
+	// Duplicate type fails cleanly.
+	if _, err := c.Execute(`CREATE TYPE TweetType AS OPEN { id: int64 };`); err == nil {
+		t.Error("duplicate type should fail")
+	}
+	// INSERT duplicate key fails; UPSERT succeeds.
+	if _, err := c.Execute(`INSERT INTO SensitiveWords ([{"id": 1, "country": "US", "word": "x"}]);`); err == nil {
+		t.Error("duplicate INSERT should fail")
+	}
+	if _, err := c.Execute(`UPSERT INTO SensitiveWords ([{"id": 1, "country": "US", "word": "blast"}]);`); err != nil {
+		t.Errorf("UPSERT failed: %v", err)
+	}
+	rec, found, err := c.Get("SensitiveWords", Int64(1))
+	if err != nil || !found || rec.Field("word").Str() != "blast" {
+		t.Errorf("Get after upsert = %v %v %v", rec, found, err)
+	}
+}
+
+func TestQueryWithUDF(t *testing.T) {
+	c := newTestCluster(t)
+	c.MustExecute(paperSchema)
+	c.MustExecute(`INSERT INTO Tweets ([
+		{"id": 1, "text": "a bomb threat", "country": "US"},
+		{"id": 2, "text": "nice day", "country": "US"},
+		{"id": 3, "text": "a bomb scene", "country": "DE"}
+	]);`)
+	// The paper's Figure 9 analytical query (Option 1).
+	rows, err := c.Query(`
+		SELECT tweet.country Country, count(tweet) Num
+		FROM Tweets tweet
+		LET enrichedTweet = tweetSafetyCheck(tweet)[0]
+		WHERE enrichedTweet.safety_check_flag = "Red"
+		GROUP BY tweet.country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d: %v", len(rows), rows)
+	}
+	if rows[0].Field("Country").Str() != "US" || rows[0].Field("Num").Int() != 1 {
+		t.Errorf("row = %s", rows[0])
+	}
+	// Query rejects non-SELECT.
+	if _, err := c.Query(`CREATE TYPE X AS OPEN { id: int64 };`); err == nil {
+		t.Error("Query should reject DDL")
+	}
+}
+
+func TestEndToEndFeedWithEnrichment(t *testing.T) {
+	c := newTestCluster(t)
+	c.MustExecute(paperSchema)
+	c.MustExecute(`
+		CREATE FEED TweetFeed WITH {
+			"adapter-name": "channel_adapter",
+			"type-name": "TweetType",
+			"batch-size": 50
+		};
+		CONNECT FEED TweetFeed TO DATASET EnrichedTweets APPLY FUNCTION tweetSafetyCheck;
+	`)
+	var records [][]byte
+	for i := 0; i < 500; i++ {
+		text := "peaceful message"
+		if i%10 == 0 {
+			text = "bomb alert"
+		}
+		records = append(records, []byte(fmt.Sprintf(
+			`{"id":%d,"text":"%s","country":"US"}`, i, text)))
+	}
+	if err := c.SetFeedSource("TweetFeed", func(int) (FeedSource, error) {
+		return &RecordsSource{Records: records}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	feeds := c.MustExecute(`START FEED TweetFeed;`)
+	if len(feeds) != 1 {
+		t.Fatalf("feeds = %d", len(feeds))
+	}
+	if err := feeds[0].Wait(); err != nil {
+		t.Fatal(err)
+	}
+	ingested, stored, invocations, refresh := feeds[0].Stats()
+	if stored != 500 || ingested != 500 {
+		t.Errorf("stats: ingested=%d stored=%d", ingested, stored)
+	}
+	if invocations < 5 {
+		t.Errorf("invocations = %d", invocations)
+	}
+	_ = refresh
+	red, err := c.Query(`SELECT VALUE count(*) FROM EnrichedTweets e WHERE e.safety_check_flag = "Red"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red[0].Int() != 50 {
+		t.Errorf("red tweets = %d, want 50", red[0].Int())
+	}
+}
+
+func TestNativeUDFViaPublicAPI(t *testing.T) {
+	c := newTestCluster(t)
+	c.MustExecute(`
+		CREATE TYPE T AS OPEN { id: int64 };
+		CREATE DATASET Out(T) PRIMARY KEY id;
+		CREATE FEED F WITH { "adapter-name": "channel_adapter" };
+		CONNECT FEED F TO DATASET Out APPLY FUNCTION marker;
+	`)
+	c.PutResource("tag", []byte("alpha\n"))
+	err := c.RegisterNativeUDF("marker", true, func() NativeUDF {
+		return &markerUDF{c: c}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([][]byte, 200)
+	for i := range records {
+		records[i] = []byte(fmt.Sprintf(`{"id":%d}`, i))
+	}
+	if err := c.SetFeedSource("F", func(int) (FeedSource, error) {
+		return &RecordsSource{Records: records}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	feeds := c.MustExecute(`START FEED F;`)
+	if err := feeds[0].Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rec, found, _ := c.Get("Out", Int64(7))
+	if !found || rec.Field("tag").Str() != "alpha" {
+		t.Errorf("native UDF output = %s", rec)
+	}
+}
+
+type markerUDF struct {
+	c   *Cluster
+	tag string
+}
+
+func (m *markerUDF) Initialize(int) error {
+	lines, ok := m.c.Resource("tag")
+	if !ok || len(lines) == 0 {
+		return fmt.Errorf("tag resource missing")
+	}
+	m.tag = lines[0]
+	return nil
+}
+
+func (m *markerUDF) Evaluate(rec Value) (Value, error) {
+	return Obj("id", rec.Field("id"), "tag", Str(m.tag)), nil
+}
+
+func TestLibraryFunction(t *testing.T) {
+	c := newTestCluster(t)
+	c.RegisterLibraryFunction("strlib", "shout", func(args []Value) (Value, error) {
+		return Str(strings.ToUpper(args[0].Str()) + "!"), nil
+	})
+	c.MustExecute(`
+		CREATE TYPE T AS OPEN { id: int64, name: string };
+		CREATE DATASET People(T) PRIMARY KEY id;
+		INSERT INTO People ([{"id": 1, "name": "ada"}]);
+	`)
+	rows, err := c.Query(`SELECT VALUE strlib#shout(p.name) FROM People p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Str() != "ADA!" {
+		t.Errorf("got %s", rows[0])
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	v := MustJSON(`{"a": 1, "b": [true, null, 2.5], "c": {"d": "x"}}`)
+	if v.Kind() != "object" || v.Len() != 3 {
+		t.Errorf("kind/len = %s/%d", v.Kind(), v.Len())
+	}
+	if v.Field("a").Int() != 1 || v.Field("b").Index(2).Float() != 2.5 {
+		t.Error("accessors failed")
+	}
+	if !v.Field("b").Index(1).IsNull() || !v.Field("zz").IsMissing() {
+		t.Error("null/missing detection failed")
+	}
+	native, ok := v.Native().(map[string]any)
+	if !ok || native["c"].(map[string]any)["d"] != "x" {
+		t.Errorf("Native = %#v", v.Native())
+	}
+	round, err := FromJSON(v.JSON())
+	if err != nil || round.Field("a").Int() != 1 {
+		t.Error("JSON round trip failed")
+	}
+	// Builders.
+	at := time.Date(2019, 8, 23, 0, 0, 0, 0, time.UTC)
+	obj := Obj("s", "str", "i", 42, "f", 1.5, "b", true, "t", at, "n", nil,
+		"arr", Arr(1, 2), "pt", PointVal(1, 2))
+	if obj.Field("i").Int() != 42 || obj.Field("t").Time() != at {
+		t.Errorf("Obj builder = %s", obj)
+	}
+	if obj.Field("arr").Len() != 2 || obj.Field("pt").Kind() != "point" {
+		t.Errorf("Obj builder = %s", obj)
+	}
+	if BoolVal(true).Bool() != true || Float64(2.5).Float() != 2.5 {
+		t.Error("scalar builders failed")
+	}
+	elems := Arr("x", "y").Elems()
+	if len(elems) != 2 || elems[1].Str() != "y" {
+		t.Error("Elems failed")
+	}
+}
+
+func TestCallFunctionDirectly(t *testing.T) {
+	c := newTestCluster(t)
+	c.MustExecute(paperSchema)
+	out, err := c.CallFunction("tweetSafetyCheck",
+		MustJSON(`{"id": 9, "text": "bomb", "country": "US"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Index(0).Field("safety_check_flag").Str() != "Red" {
+		t.Errorf("CallFunction = %s", out)
+	}
+	if _, err := c.CallFunction("nosuch"); err == nil {
+		t.Error("unknown function should fail")
+	}
+}
+
+func TestStopFeedViaExecute(t *testing.T) {
+	c := newTestCluster(t)
+	c.MustExecute(`
+		CREATE TYPE T AS OPEN { id: int64 };
+		CREATE DATASET D(T) PRIMARY KEY id;
+		CREATE FEED F WITH { "adapter-name": "channel_adapter" };
+		CONNECT FEED F TO DATASET D;
+	`)
+	ch := make(chan []byte, 16)
+	if err := c.SetFeedSource("F", func(int) (FeedSource, error) {
+		return &ChannelSource{C: ch}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.MustExecute(`START FEED F;`)
+	for i := 0; i < 200; i++ {
+		ch <- []byte(fmt.Sprintf(`{"id":%d}`, i))
+	}
+	// Wait for some arrivals before stopping.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if n, _ := c.DatasetLen("D"); n > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Execute(`STOP FEED F;`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(`STOP FEED F;`); err == nil {
+		t.Error("stopping a stopped feed should fail")
+	}
+}

@@ -1,0 +1,527 @@
+package adm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// ParseJSON parses a single JSON value into an ADM Value. Numbers
+// without a fraction or exponent become int64; everything else becomes
+// double. The parser is hand-rolled because it sits on the feed's hot
+// path: every ingested record passes through it once per computing job.
+func ParseJSON(data []byte) (Value, error) {
+	p := jsonParser{data: data}
+	p.skipSpace()
+	v, err := p.parseValue()
+	if err != nil {
+		return Value{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.data) {
+		return Value{}, p.errorf("trailing data after JSON value")
+	}
+	return v, nil
+}
+
+type jsonParser struct {
+	data []byte
+	pos  int
+}
+
+func (p *jsonParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("adm: json at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *jsonParser) skipSpace() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *jsonParser) parseValue() (Value, error) {
+	if p.pos >= len(p.data) {
+		return Value{}, p.errorf("unexpected end of input")
+	}
+	switch c := p.data[p.pos]; {
+	case c == '{':
+		return p.parseObject()
+	case c == '[':
+		return p.parseArray()
+	case c == '"':
+		s, err := p.parseString()
+		if err != nil {
+			return Value{}, err
+		}
+		return String(s), nil
+	case c == 't':
+		if err := p.expect("true"); err != nil {
+			return Value{}, err
+		}
+		return Bool(true), nil
+	case c == 'f':
+		if err := p.expect("false"); err != nil {
+			return Value{}, err
+		}
+		return Bool(false), nil
+	case c == 'n':
+		if err := p.expect("null"); err != nil {
+			return Value{}, err
+		}
+		return Null(), nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.parseNumber()
+	default:
+		return Value{}, p.errorf("unexpected character %q", c)
+	}
+}
+
+func (p *jsonParser) expect(lit string) error {
+	if p.pos+len(lit) > len(p.data) || string(p.data[p.pos:p.pos+len(lit)]) != lit {
+		return p.errorf("invalid literal, expected %q", lit)
+	}
+	p.pos += len(lit)
+	return nil
+}
+
+func (p *jsonParser) parseObject() (Value, error) {
+	p.pos++ // consume '{'
+	obj := NewObject(8)
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == '}' {
+		p.pos++
+		return ObjectValue(obj), nil
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+			return Value{}, p.errorf("expected object key string")
+		}
+		key, err := p.parseString()
+		if err != nil {
+			return Value{}, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != ':' {
+			return Value{}, p.errorf("expected ':' after object key")
+		}
+		p.pos++
+		p.skipSpace()
+		v, err := p.parseValue()
+		if err != nil {
+			return Value{}, err
+		}
+		obj.Set(key, v)
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return Value{}, p.errorf("unterminated object")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case '}':
+			p.pos++
+			return ObjectValue(obj), nil
+		default:
+			return Value{}, p.errorf("expected ',' or '}' in object")
+		}
+	}
+}
+
+func (p *jsonParser) parseArray() (Value, error) {
+	p.pos++ // consume '['
+	p.skipSpace()
+	if p.pos < len(p.data) && p.data[p.pos] == ']' {
+		p.pos++
+		return EmptyArray(), nil
+	}
+	var elems []Value
+	for {
+		p.skipSpace()
+		v, err := p.parseValue()
+		if err != nil {
+			return Value{}, err
+		}
+		elems = append(elems, v)
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return Value{}, p.errorf("unterminated array")
+		}
+		switch p.data[p.pos] {
+		case ',':
+			p.pos++
+		case ']':
+			p.pos++
+			return Array(elems), nil
+		default:
+			return Value{}, p.errorf("expected ',' or ']' in array")
+		}
+	}
+}
+
+func (p *jsonParser) parseString() (string, error) {
+	p.pos++ // consume opening quote
+	start := p.pos
+	// Fast path: no escapes.
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		if c == '"' {
+			s := string(p.data[start:p.pos])
+			p.pos++
+			return s, nil
+		}
+		if c == '\\' || c < 0x20 {
+			break
+		}
+		p.pos++
+	}
+	// Slow path with escape handling.
+	buf := append([]byte(nil), p.data[start:p.pos]...)
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		switch {
+		case c == '"':
+			p.pos++
+			return string(buf), nil
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.data) {
+				return "", p.errorf("unterminated escape")
+			}
+			esc := p.data[p.pos]
+			p.pos++
+			switch esc {
+			case '"', '\\', '/':
+				buf = append(buf, esc)
+			case 'b':
+				buf = append(buf, '\b')
+			case 'f':
+				buf = append(buf, '\f')
+			case 'n':
+				buf = append(buf, '\n')
+			case 'r':
+				buf = append(buf, '\r')
+			case 't':
+				buf = append(buf, '\t')
+			case 'u':
+				r, err := p.parseUnicodeEscape()
+				if err != nil {
+					return "", err
+				}
+				buf = utf8.AppendRune(buf, r)
+			default:
+				return "", p.errorf("invalid escape '\\%c'", esc)
+			}
+		case c < 0x20:
+			return "", p.errorf("control character in string")
+		default:
+			buf = append(buf, c)
+			p.pos++
+		}
+	}
+	return "", p.errorf("unterminated string")
+}
+
+func (p *jsonParser) parseUnicodeEscape() (rune, error) {
+	if p.pos+4 > len(p.data) {
+		return 0, p.errorf("truncated \\u escape")
+	}
+	u, err := strconv.ParseUint(string(p.data[p.pos:p.pos+4]), 16, 32)
+	if err != nil {
+		return 0, p.errorf("invalid \\u escape")
+	}
+	p.pos += 4
+	r := rune(u)
+	if utf16.IsSurrogate(r) && p.pos+6 <= len(p.data) &&
+		p.data[p.pos] == '\\' && p.data[p.pos+1] == 'u' {
+		u2, err := strconv.ParseUint(string(p.data[p.pos+2:p.pos+6]), 16, 32)
+		if err == nil {
+			if combined := utf16.DecodeRune(r, rune(u2)); combined != utf8.RuneError {
+				p.pos += 6
+				return combined, nil
+			}
+		}
+	}
+	return r, nil
+}
+
+func (p *jsonParser) parseNumber() (Value, error) {
+	start := p.pos
+	isFloat := false
+	if p.pos < len(p.data) && p.data[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			p.pos++
+		case c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-':
+			isFloat = true
+			p.pos++
+		default:
+			goto done
+		}
+	}
+done:
+	text := string(p.data[start:p.pos])
+	if !isFloat {
+		if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+			return Int(i), nil
+		}
+		// Out-of-range integers fall back to double, like encoding/json.
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Value{}, p.errorf("invalid number %q", text)
+	}
+	return Double(f), nil
+}
+
+// AppendJSON appends the canonical JSON serialization of v to dst and
+// returns the extended slice. Temporal and spatial kinds are encoded as
+// tagged strings/arrays that the Datatype coercion layer knows how to
+// read back: datetime → ISO-8601 string, duration → ISO-8601 duration
+// string, point → [x,y], rectangle → [x1,y1,x2,y2], circle → [cx,cy,r].
+func AppendJSON(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindMissing, KindNull:
+		return append(dst, "null"...)
+	case KindBoolean:
+		if v.i != 0 {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case KindInt64:
+		return strconv.AppendInt(dst, v.i, 10)
+	case KindDouble:
+		if math.IsInf(v.f, 0) || math.IsNaN(v.f) {
+			return append(dst, "null"...)
+		}
+		return strconv.AppendFloat(dst, v.f, 'g', -1, 64)
+	case KindString:
+		return appendJSONString(dst, v.s)
+	case KindDateTime:
+		return appendJSONString(dst, FormatISODateTime(v.i))
+	case KindDuration:
+		return appendJSONString(dst, FormatISODuration(v.aux, v.i))
+	case KindPoint:
+		x, y := v.PointVal()
+		dst = append(dst, '[')
+		dst = strconv.AppendFloat(dst, x, 'g', -1, 64)
+		dst = append(dst, ',')
+		dst = strconv.AppendFloat(dst, y, 'g', -1, 64)
+		return append(dst, ']')
+	case KindRectangle:
+		x1, y1, x2, y2 := v.RectVal()
+		dst = append(dst, '[')
+		for i, f := range [...]float64{x1, y1, x2, y2} {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendFloat(dst, f, 'g', -1, 64)
+		}
+		return append(dst, ']')
+	case KindCircle:
+		cx, cy, r := v.CircleVal()
+		dst = append(dst, '[')
+		for i, f := range [...]float64{cx, cy, r} {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendFloat(dst, f, 'g', -1, 64)
+		}
+		return append(dst, ']')
+	case KindArray:
+		dst = append(dst, '[')
+		for i, e := range v.arr {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = AppendJSON(dst, e)
+		}
+		return append(dst, ']')
+	case KindObject:
+		dst = append(dst, '{')
+		if v.obj != nil {
+			for i := 0; i < v.obj.Len(); i++ {
+				if i > 0 {
+					dst = append(dst, ',')
+				}
+				dst = appendJSONString(dst, v.obj.Name(i))
+				dst = append(dst, ':')
+				dst = AppendJSON(dst, v.obj.At(i))
+			}
+		}
+		return append(dst, '}')
+	}
+	return append(dst, "null"...)
+}
+
+// SerializeJSON returns the JSON encoding of v as a fresh byte slice.
+func SerializeJSON(v Value) []byte { return AppendJSON(nil, v) }
+
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			dst = append(dst, '\\', '"')
+		case c == '\\':
+			dst = append(dst, '\\', '\\')
+		case c == '\n':
+			dst = append(dst, '\\', 'n')
+		case c == '\r':
+			dst = append(dst, '\\', 'r')
+		case c == '\t':
+			dst = append(dst, '\\', 't')
+		case c < 0x20:
+			dst = append(dst, fmt.Sprintf("\\u%04x", c)...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
+}
+
+const isoDateTimeLayout = "2006-01-02T15:04:05.000Z"
+
+// FormatISODateTime renders epoch milliseconds as an ISO-8601 UTC
+// timestamp string.
+func FormatISODateTime(ms int64) string {
+	return time.UnixMilli(ms).UTC().Format(isoDateTimeLayout)
+}
+
+// ParseISODateTime parses an ISO-8601 timestamp into epoch milliseconds.
+// It accepts both millisecond and second precision.
+func ParseISODateTime(s string) (int64, bool) {
+	for _, layout := range [...]string{
+		isoDateTimeLayout,
+		"2006-01-02T15:04:05Z",
+		"2006-01-02T15:04:05.000-07:00",
+		"2006-01-02T15:04:05-07:00",
+		"2006-01-02",
+	} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.UnixMilli(), true
+		}
+	}
+	return 0, false
+}
+
+// FormatISODuration renders a (months, millis) duration as an ISO-8601
+// duration string, e.g. P2M, P1Y2M, PT4.250S, P2MT12H.
+func FormatISODuration(months int32, millis int64) string {
+	out := []byte{'P'}
+	neg := months < 0 || millis < 0
+	if neg {
+		out = []byte{'-', 'P'}
+		if months < 0 {
+			months = -months
+		}
+		if millis < 0 {
+			millis = -millis
+		}
+	}
+	years := months / 12
+	months %= 12
+	if years > 0 {
+		out = strconv.AppendInt(out, int64(years), 10)
+		out = append(out, 'Y')
+	}
+	if months > 0 {
+		out = strconv.AppendInt(out, int64(months), 10)
+		out = append(out, 'M')
+	}
+	if millis > 0 {
+		out = append(out, 'T')
+		secs := millis / 1000
+		frac := millis % 1000
+		out = strconv.AppendInt(out, secs, 10)
+		if frac > 0 {
+			out = append(out, '.')
+			out = append(out, fmt.Sprintf("%03d", frac)...)
+		}
+		out = append(out, 'S')
+	}
+	if len(out) == 1 || (neg && len(out) == 2) {
+		out = append(out, 'T', '0', 'S')
+	}
+	return string(out)
+}
+
+// ParseISODuration parses a subset of ISO-8601 durations covering what
+// the paper's queries use (PnYnMnDTnHnMn.nS). It returns the calendar
+// months and the millisecond remainder.
+func ParseISODuration(s string) (months int32, millis int64, ok bool) {
+	if len(s) == 0 {
+		return 0, 0, false
+	}
+	neg := false
+	i := 0
+	if s[i] == '-' {
+		neg = true
+		i++
+	}
+	if i >= len(s) || s[i] != 'P' {
+		return 0, 0, false
+	}
+	i++
+	inTime := false
+	seen := false
+	for i < len(s) {
+		if s[i] == 'T' {
+			inTime = true
+			i++
+			continue
+		}
+		start := i
+		for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.') {
+			i++
+		}
+		if start == i || i >= len(s) {
+			return 0, 0, false
+		}
+		num, err := strconv.ParseFloat(s[start:i], 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		unit := s[i]
+		i++
+		seen = true
+		switch {
+		case !inTime && unit == 'Y':
+			months += int32(num) * 12
+		case !inTime && unit == 'M':
+			months += int32(num)
+		case !inTime && unit == 'W':
+			millis += int64(num * 7 * 24 * 3600 * 1000)
+		case !inTime && unit == 'D':
+			millis += int64(num * 24 * 3600 * 1000)
+		case inTime && unit == 'H':
+			millis += int64(num * 3600 * 1000)
+		case inTime && unit == 'M':
+			millis += int64(num * 60 * 1000)
+		case inTime && unit == 'S':
+			millis += int64(num * 1000)
+		default:
+			return 0, 0, false
+		}
+	}
+	if !seen {
+		return 0, 0, false
+	}
+	if neg {
+		months, millis = -months, -millis
+	}
+	return months, millis, true
+}

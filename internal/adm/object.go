@@ -1,0 +1,149 @@
+package adm
+
+// Object is an ordered collection of named fields: the ADM record type.
+// Field order is insertion order (matching how AsterixDB lays out closed
+// fields first, then open fields). Lookup is O(1) once the object grows
+// past a small threshold; small objects use linear scans to avoid the
+// map allocation that would otherwise dominate tweet-sized records.
+type Object struct {
+	names  []string
+	values []Value
+	index  map[string]int // built lazily once len(names) > indexThreshold
+}
+
+const indexThreshold = 8
+
+// NewObject returns an empty object with capacity for n fields.
+func NewObject(n int) *Object {
+	return &Object{
+		names:  make([]string, 0, n),
+		values: make([]Value, 0, n),
+	}
+}
+
+// ObjectFromPairs builds an object from alternating name/value pairs,
+// primarily a convenience for tests and examples. It panics when the
+// argument list is malformed, as that is always a programming error.
+func ObjectFromPairs(pairs ...any) *Object {
+	if len(pairs)%2 != 0 {
+		panic("adm: ObjectFromPairs requires an even number of arguments")
+	}
+	o := NewObject(len(pairs) / 2)
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic("adm: ObjectFromPairs field names must be strings")
+		}
+		val, ok := pairs[i+1].(Value)
+		if !ok {
+			panic("adm: ObjectFromPairs field values must be adm.Value")
+		}
+		o.Set(name, val)
+	}
+	return o
+}
+
+// Len returns the number of fields.
+func (o *Object) Len() int { return len(o.names) }
+
+// Name returns the name of field i.
+func (o *Object) Name(i int) string { return o.names[i] }
+
+// At returns the value of field i.
+func (o *Object) At(i int) Value { return o.values[i] }
+
+// Get returns the value of the named field and whether it exists.
+func (o *Object) Get(name string) (Value, bool) {
+	if i := o.find(name); i >= 0 {
+		return o.values[i], true
+	}
+	return Value{}, false
+}
+
+// GetOr returns the named field or the fallback when absent.
+func (o *Object) GetOr(name string, fallback Value) Value {
+	if v, ok := o.Get(name); ok {
+		return v
+	}
+	return fallback
+}
+
+// Set adds the field or replaces an existing field of the same name,
+// preserving its position.
+func (o *Object) Set(name string, v Value) {
+	if i := o.find(name); i >= 0 {
+		o.values[i] = v
+		return
+	}
+	o.names = append(o.names, name)
+	o.values = append(o.values, v)
+	if o.index != nil {
+		o.index[name] = len(o.names) - 1
+	} else if len(o.names) > indexThreshold {
+		o.buildIndex()
+	}
+}
+
+// Delete removes the named field, reporting whether it was present.
+func (o *Object) Delete(name string) bool {
+	i := o.find(name)
+	if i < 0 {
+		return false
+	}
+	o.names = append(o.names[:i], o.names[i+1:]...)
+	o.values = append(o.values[:i], o.values[i+1:]...)
+	if o.index != nil {
+		o.buildIndex() // positions shifted; rebuild
+	}
+	return true
+}
+
+// Clone returns a deep copy of the object.
+func (o *Object) Clone() *Object {
+	c := NewObject(len(o.names))
+	c.names = append(c.names, o.names...)
+	c.values = make([]Value, len(o.values))
+	for i, v := range o.values {
+		c.values[i] = v.Clone()
+	}
+	if len(c.names) > indexThreshold {
+		c.buildIndex()
+	}
+	return c
+}
+
+// CopyShallow returns a new object sharing the field values (but not the
+// field table) with o. It is the cheap way for a UDF to produce
+// "SELECT t.*, extra" output without deep-copying the input record.
+func (o *Object) CopyShallow() *Object {
+	c := &Object{
+		names:  append([]string(nil), o.names...),
+		values: append([]Value(nil), o.values...),
+	}
+	if len(c.names) > indexThreshold {
+		c.buildIndex()
+	}
+	return c
+}
+
+func (o *Object) find(name string) int {
+	if o.index != nil {
+		if i, ok := o.index[name]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, n := range o.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (o *Object) buildIndex() {
+	o.index = make(map[string]int, len(o.names))
+	for i, n := range o.names {
+		o.index[n] = i
+	}
+}

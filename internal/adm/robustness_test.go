@@ -1,0 +1,71 @@
+package adm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseJSONNeverPanics: prefixes and random mutations of valid JSON
+// either parse or error — never panic — and successful parses
+// re-serialize without panicking.
+func TestParseJSONNeverPanics(t *testing.T) {
+	docs := []string{
+		`{"id":123,"text":"hello","nested":{"a":[1,2.5,true,null]},"u":"é𝄞"}`,
+		`[{"k":"v"},[],{},[null]]`,
+		`-123.456e-7`,
+		`"escapes \" \\ \n \t A"`,
+	}
+	r := rand.New(rand.NewSource(99))
+	check := func(input []byte) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("panic on %q: %v", input, rec)
+			}
+		}()
+		v, err := ParseJSON(input)
+		if err == nil {
+			SerializeJSON(v) // must not panic either
+		}
+	}
+	for _, doc := range docs {
+		for i := 0; i <= len(doc); i++ {
+			check([]byte(doc[:i]))
+		}
+		for trial := 0; trial < 500; trial++ {
+			b := []byte(doc)
+			for k := 0; k < 1+r.Intn(5); k++ {
+				if len(b) == 0 {
+					break
+				}
+				pos := r.Intn(len(b))
+				switch r.Intn(3) {
+				case 0:
+					b[pos] = byte(r.Intn(256))
+				case 1:
+					b = append(b[:pos], b[pos+1:]...)
+				default:
+					b = append(b[:pos], append([]byte{byte(r.Intn(256))}, b[pos:]...)...)
+				}
+			}
+			check(b)
+		}
+	}
+}
+
+// TestCoerceNeverPanics: coercion across every (value, kind) pair either
+// succeeds or errors.
+func TestCoerceNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		v := randomValue(r, 2)
+		k := Kind(r.Intn(int(numKinds)))
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("CoerceKind(%v, %v) panicked: %v", v, k, rec)
+				}
+			}()
+			CoerceKind(v, k) //nolint:errcheck
+		}()
+	}
+}

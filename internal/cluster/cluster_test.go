@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/hyracks"
+	"github.com/ideadb/idea/internal/query"
+)
+
+func newTestCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	tuning := DefaultTuning()
+	tuning.DispatchOverheadPerNode = 0
+	tuning.InvokeOverheadPerNode = 0
+	c, err := New(nodes, tuning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, DefaultTuning()); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	c := newTestCluster(t, 3)
+	if c.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", c.NumNodes())
+	}
+	for i := 0; i < 3; i++ {
+		if c.Node(i).ID != i || c.Node(i).Holders == nil {
+			t.Errorf("node %d malformed", i)
+		}
+	}
+}
+
+func TestCatalogDatatypesAndDatasets(t *testing.T) {
+	c := newTestCluster(t, 2)
+	dt := adm.MustDatatype("T", true, []adm.FieldDef{{Name: "id", Kind: adm.KindInt64}})
+	if err := c.CreateDatatype(dt); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateDatatype(dt); err == nil {
+		t.Error("duplicate datatype should fail")
+	}
+	if got, ok := c.Datatype("T"); !ok || got != dt {
+		t.Error("datatype lookup failed")
+	}
+	ds, err := c.CreateDataset("D", "T", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumPartitions() != 2 {
+		t.Errorf("partitions = %d, want one per node", ds.NumPartitions())
+	}
+	if _, err := c.CreateDataset("D", "T", "id"); err == nil {
+		t.Error("duplicate dataset should fail")
+	}
+	if _, err := c.CreateDataset("E", "NoSuchType", "id"); err == nil {
+		t.Error("unknown datatype should fail")
+	}
+	// Untyped dataset is allowed.
+	if _, err := c.CreateDataset("U", "", "id"); err != nil {
+		t.Errorf("untyped dataset: %v", err)
+	}
+	if _, ok := c.Dataset("D"); !ok {
+		t.Error("dataset lookup failed")
+	}
+	if err := c.DropDataset("D"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Dataset("D"); ok {
+		t.Error("dropped dataset still visible")
+	}
+	if err := c.DropDataset("D"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestCatalogIndexes(t *testing.T) {
+	c := newTestCluster(t, 2)
+	ds, _ := c.CreateDataset("M", "", "id")
+	ds.Upsert(adm.ObjectValue(adm.ObjectFromPairs(
+		"id", adm.Int(1), "loc", adm.Point(1, 2), "k", adm.String("x"))))
+	if err := c.CreateIndex("ix1", "M", "loc", "RTREE"); err != nil {
+		t.Fatal(err)
+	}
+	if ds.RTreeIndexForField("loc") == nil {
+		t.Error("rtree index not visible")
+	}
+	if err := c.CreateIndex("ix2", "M", "k", "BTREE"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("ix3", "M", "k", "HASH"); err == nil {
+		t.Error("unknown index kind should fail")
+	}
+	if err := c.CreateIndex("ix4", "None", "k", "BTREE"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestCatalogFunctionsAndNatives(t *testing.T) {
+	c := newTestCluster(t, 1)
+	fn := &query.Function{Name: "f", Params: []string{"x"}}
+	if err := c.CreateFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateFunction(fn); err == nil {
+		t.Error("duplicate function should fail")
+	}
+	if got, ok := c.Function("f"); !ok || got != fn {
+		t.Error("function lookup failed")
+	}
+	c.RegisterNative("lib", "g", func(args []adm.Value) (adm.Value, error) {
+		return adm.Int(7), nil
+	})
+	g, ok := c.Native("lib", "g")
+	if !ok {
+		t.Fatal("native lookup failed")
+	}
+	if v, _ := g(nil); v.IntVal() != 7 {
+		t.Error("native call failed")
+	}
+	if _, ok := c.Native("lib", "missing"); ok {
+		t.Error("native miss expected")
+	}
+}
+
+func TestPredeployLifecycle(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if err := c.Predeploy("job1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Predeploy("job1"); err == nil {
+		t.Error("double predeploy should fail")
+	}
+	spec := hyracks.NewJobSpec()
+	spec.AddOperator(&hyracks.Descriptor{
+		Name: "src", Parallelism: 1,
+		NewSource: func(int) (hyracks.Source, error) {
+			return &hyracks.SliceSource{Records: []adm.Value{adm.Int(1)}}, nil
+		},
+	})
+	job, err := c.InvokePredeployed(context.Background(), "job1", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InvokePredeployed(context.Background(), "nope", spec); err == nil {
+		t.Error("invoking unknown predeployed job should fail")
+	}
+	c.Undeploy("job1")
+	if _, err := c.InvokePredeployed(context.Background(), "job1", spec); err == nil {
+		t.Error("invoking undeployed job should fail")
+	}
+}
+
+func TestDispatchOverheadCharged(t *testing.T) {
+	tuning := DefaultTuning()
+	tuning.DispatchOverheadPerNode = 3 * time.Millisecond
+	tuning.InvokeOverheadPerNode = time.Millisecond
+	c, err := New(4, tuning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := hyracks.NewJobSpec()
+	spec.AddOperator(&hyracks.Descriptor{
+		Name: "src", Parallelism: 1,
+		NewSource: func(int) (hyracks.Source, error) {
+			return &hyracks.SliceSource{}, nil
+		},
+	})
+	start := time.Now()
+	job, err := c.StartJob(context.Background(), spec, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Wait()
+	if elapsed := time.Since(start); elapsed < 12*time.Millisecond {
+		t.Errorf("full dispatch should cost >= 4 nodes * 3ms, took %v", elapsed)
+	}
+	c.Predeploy("p")
+	start = time.Now()
+	job, _ = c.InvokePredeployed(context.Background(), "p", spec)
+	job.Wait()
+	if elapsed := time.Since(start); elapsed > 12*time.Millisecond {
+		t.Errorf("predeployed invocation should be much cheaper, took %v", elapsed)
+	}
+}
+
+func TestNextJobIDUnique(t *testing.T) {
+	c := newTestCluster(t, 1)
+	a, b := c.NextJobID("x"), c.NextJobID("x")
+	if a == b {
+		t.Errorf("job ids must be unique: %s vs %s", a, b)
+	}
+}
+
+func TestTuningDefaults(t *testing.T) {
+	c, err := New(1, Tuning{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tuning().HolderCapacity <= 0 || c.Tuning().FrameCapacity <= 0 {
+		t.Errorf("zero tuning not defaulted: %+v", c.Tuning())
+	}
+}

@@ -1,0 +1,154 @@
+// Package core implements the paper's contribution: the decoupled
+// ingestion framework. A feed is three cooperating layers —
+//
+//   - a long-running *intake job* (adapters receive raw bytes, a
+//     round-robin partitioner spreads them over passive intake partition
+//     holders on every node),
+//   - a short-lived but repeatedly-invoked *computing job* (per batch:
+//     collect from the local intake holder, parse, evaluate the attached
+//     UDF against freshly-prepared state, forward to the local storage
+//     holder), and
+//   - a long-running *storage job* (active storage partition holders →
+//     hash partitioner on primary key → LSM storage partitions, with
+//     group-committed log writes),
+//
+// orchestrated by the Active Feed Manager on the cluster controller.
+// The package also implements the old coupled ("static") pipeline as the
+// paper's baseline, including its limitations: stateful SQL++ UDFs are
+// rejected, and native-UDF state goes stale.
+package core
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Adapter obtains/receives data from an external source as raw bytes,
+// one record per emit call. Run returns when the source is exhausted or
+// ctx is canceled; emit blocks for backpressure.
+type Adapter interface {
+	Run(ctx context.Context, emit func(raw []byte) error) error
+}
+
+// GeneratorAdapter replays pre-serialized records — the synthetic
+// firehose used by benchmarks (substituting for the paper's Twitter
+// feed; see DESIGN.md).
+type GeneratorAdapter struct {
+	// Records are emitted in order.
+	Records [][]byte
+}
+
+// Run implements Adapter.
+func (g *GeneratorAdapter) Run(ctx context.Context, emit func([]byte) error) error {
+	for _, rec := range g.Records {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChannelAdapter emits records pushed into a channel (examples and
+// update clients). Close the channel to end the feed.
+type ChannelAdapter struct {
+	C <-chan []byte
+}
+
+// Run implements Adapter.
+func (a *ChannelAdapter) Run(ctx context.Context, emit func([]byte) error) error {
+	for {
+		select {
+		case rec, ok := <-a.C:
+			if !ok {
+				return nil
+			}
+			if err := emit(rec); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// SocketAdapter listens on a TCP socket and emits newline-delimited
+// records — the paper's socket_adapter. It serves any number of
+// sequential or concurrent connections; Run ends when the listener is
+// closed (StopFeed) or ctx is canceled.
+type SocketAdapter struct {
+	// Addr is the listen address, e.g. "127.0.0.1:10001".
+	Addr string
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// Run implements Adapter.
+func (a *SocketAdapter) Run(ctx context.Context, emit func([]byte) error) error {
+	ln, err := net.Listen("tcp", a.Addr)
+	if err != nil {
+		return fmt.Errorf("core: socket adapter: %w", err)
+	}
+	a.mu.Lock()
+	a.ln = ln
+	a.mu.Unlock()
+	go func() {
+		<-ctx.Done()
+		a.Stop()
+	}()
+
+	var wg sync.WaitGroup
+	var emitMu sync.Mutex // serialize emits across connections
+	var connErr error
+	var errOnce sync.Once
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+			for sc.Scan() {
+				line := append([]byte(nil), sc.Bytes()...)
+				if len(line) == 0 {
+					continue
+				}
+				emitMu.Lock()
+				err := emit(line)
+				emitMu.Unlock()
+				if err != nil {
+					errOnce.Do(func() { connErr = err })
+					return
+				}
+			}
+		}(conn)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return nil // clean stop
+	}
+	return connErr
+}
+
+// Stop closes the listener, ending Run once in-flight connections
+// finish.
+func (a *SocketAdapter) Stop() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ln != nil {
+		a.ln.Close()
+		a.ln = nil
+	}
+}

@@ -1,0 +1,596 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/cluster"
+	"github.com/ideadb/idea/internal/hyracks"
+	"github.com/ideadb/idea/internal/lsm"
+	"github.com/ideadb/idea/internal/query"
+	"github.com/ideadb/idea/internal/udf"
+)
+
+// Config describes one feed connection (the union of CREATE FEED and
+// CONNECT FEED).
+type Config struct {
+	// Name identifies the feed (holder registration, job ids).
+	Name string
+	// Dataset is the target dataset.
+	Dataset string
+	// Function is the attached UDF name ("" for none): a catalog SQL++
+	// function or a registered native UDF.
+	Function string
+	// BatchSize is the records consumed per computing-job invocation
+	// across the cluster (the paper's 1X = 420).
+	BatchSize int
+	// IntakeNodes lists the nodes running adapters (default node 0; all
+	// nodes = the paper's "balanced" variants).
+	IntakeNodes []int
+	// NewAdapter builds the adapter for intake slot i (0 ≤ i <
+	// len(IntakeNodes)).
+	NewAdapter func(i int) (Adapter, error)
+	// DisableIndexes applies the paper's no-index query hint (Naive
+	// Nearby Monuments).
+	DisableIndexes bool
+	// Natives resolves native ("Java") UDFs.
+	Natives *udf.Registry
+
+	// RecompilePerBatch disables the predeployed-job optimization: every
+	// invocation re-runs UDF compilation and pays full dispatch overhead
+	// (ablation 2 in DESIGN.md).
+	RecompilePerBatch bool
+	// FusedInsert disables the decoupled pipeline: each invocation is a
+	// single insert job whose UDF evaluation and storage write run
+	// sequentially (Section 5.1's intermediate design; ablation 3).
+	FusedInsert bool
+}
+
+// Stats are live feed counters.
+type Stats struct {
+	// Ingested counts records consumed by computing jobs.
+	Ingested atomic.Int64
+	// Stored counts records written to storage partitions.
+	Stored atomic.Int64
+	// ParseErrors counts malformed records dropped by the parser.
+	ParseErrors atomic.Int64
+	// Invocations counts computing-job invocations.
+	Invocations atomic.Int64
+	// BatchNanos accumulates computing-job wall time (refresh periods).
+	BatchNanos atomic.Int64
+}
+
+// RefreshPeriod returns the mean computing-job duration — the paper's
+// Figure 26 metric.
+func (s *Stats) RefreshPeriod() time.Duration {
+	inv := s.Invocations.Load()
+	if inv == 0 {
+		return 0
+	}
+	return time.Duration(s.BatchNanos.Load() / inv)
+}
+
+// Feed is a running dynamic-framework feed.
+type Feed struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	ds      *lsm.Dataset
+	dt      *adm.Datatype
+
+	plan   *query.EnrichPlan // SQL++ attachment
+	native *udf.Native       // native attachment
+
+	intakeHolders  []*hyracks.PassiveHolder
+	storageHolders []*hyracks.ActiveHolder
+	intakeJob      *hyracks.Job
+	storageJob     *hyracks.Job
+
+	eof []atomic.Bool // per node: intake holder fully drained
+
+	jobCtx    context.Context
+	jobCancel context.CancelFunc
+	adaptCtx  context.Context
+	adaptStop context.CancelFunc
+	afmDone   chan struct{}
+	computeID string
+	frameCap  int
+	quota     int
+
+	stats   Stats
+	errOnce sync.Once
+	feedErr error
+}
+
+// Stats returns the feed's counters.
+func (f *Feed) Stats() *Stats { return &f.stats }
+
+// resolveFunction splits the attached function into a native UDF or a
+// compiled SQL++ enrichment plan.
+func resolveFunction(c *cluster.Cluster, cfg Config) (*query.EnrichPlan, *udf.Native, error) {
+	if cfg.Function == "" {
+		return nil, nil, nil
+	}
+	if cfg.Natives != nil {
+		if n, ok := cfg.Natives.Lookup(cfg.Function); ok {
+			return nil, n, nil
+		}
+	}
+	fn, ok := c.Function(cfg.Function)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown function %q", cfg.Function)
+	}
+	if fn.Native != nil {
+		// A scalar native catalog function applied record-wise.
+		n := &udf.Native{
+			Name: fn.Name,
+			New: func() udf.Instance {
+				return &udf.FuncInstance{EvalFn: func(rec adm.Value) (adm.Value, error) {
+					return fn.Native([]adm.Value{rec})
+				}}
+			},
+		}
+		return nil, n, nil
+	}
+	plan, err := query.CompileEnrich(fn.Name, fn.Params, fn.Body, c,
+		query.PlanOptions{DisableIndexes: cfg.DisableIndexes})
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, nil, nil
+}
+
+// Start launches the full dynamic pipeline: storage job, intake job,
+// predeployed computing job, and the Active Feed Manager loop.
+func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 420 // the paper's 1X
+	}
+	if len(cfg.IntakeNodes) == 0 {
+		cfg.IntakeNodes = []int{0}
+	}
+	if cfg.NewAdapter == nil {
+		return nil, errors.New("core: feed needs an adapter factory")
+	}
+	ds, ok := c.Dataset(cfg.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown dataset %q", cfg.Dataset)
+	}
+	plan, native, err := resolveFunction(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	n := c.NumNodes()
+	tuning := c.Tuning()
+	jobCtx, jobCancel := context.WithCancel(ctx)
+	adaptCtx, adaptStop := context.WithCancel(jobCtx)
+	f := &Feed{
+		cfg:       cfg,
+		cluster:   c,
+		ds:        ds,
+		dt:        ds.Datatype(),
+		plan:      plan,
+		native:    native,
+		jobCtx:    jobCtx,
+		jobCancel: jobCancel,
+		adaptCtx:  adaptCtx,
+		adaptStop: adaptStop,
+		afmDone:   make(chan struct{}),
+		computeID: cfg.Name + "-compute",
+		frameCap:  tuning.FrameCapacity,
+		eof:       make([]atomic.Bool, n),
+	}
+	f.quota = cfg.BatchSize / n
+	if f.quota < 1 {
+		f.quota = 1
+	}
+
+	// Partition holders, registered with each node's manager.
+	for p := 0; p < n; p++ {
+		ih := hyracks.NewPassiveHolder(tuning.HolderCapacity)
+		sh := hyracks.NewActiveHolder(tuning.HolderCapacity)
+		if err := c.Node(p).Holders.RegisterPassive(cfg.Name, ih); err != nil {
+			jobCancel()
+			return nil, err
+		}
+		if err := c.Node(p).Holders.RegisterActive(cfg.Name, sh); err != nil {
+			jobCancel()
+			return nil, err
+		}
+		f.intakeHolders = append(f.intakeHolders, ih)
+		f.storageHolders = append(f.storageHolders, sh)
+	}
+
+	// Storage job (long-running); the fused-insert ablation folds
+	// storage into each computing job instead.
+	if !cfg.FusedInsert {
+		storageSpec := f.buildStorageSpec()
+		f.storageJob, err = c.StartJob(jobCtx, storageSpec, cfg.Name+"-storage")
+		if err != nil {
+			f.teardownHolders()
+			jobCancel()
+			return nil, err
+		}
+	}
+
+	// Intake job (long-running).
+	intakeSpec, err := f.buildIntakeSpec()
+	if err == nil {
+		f.intakeJob, err = c.StartJob(jobCtx, intakeSpec, cfg.Name+"-intake")
+	}
+	if err != nil {
+		f.teardownHolders()
+		jobCancel()
+		return nil, err
+	}
+
+	// Watchdog: a storage-job failure must tear the feed down, or the
+	// AFM would block pushing batches into dead storage holders.
+	if f.storageJob != nil {
+		go func() {
+			if werr := f.storageJob.Wait(); werr != nil {
+				f.failAsync(werr)
+			}
+		}()
+	}
+
+	// Predeploy the computing job template, then let the AFM invoke it
+	// per batch (unless the predeploy ablation is off).
+	if !cfg.RecompilePerBatch {
+		if err := c.Predeploy(f.computeID); err != nil {
+			f.teardownHolders()
+			jobCancel()
+			return nil, err
+		}
+	}
+	go f.runAFM()
+	return f, nil
+}
+
+// buildIntakeSpec assembles adapter sources → round-robin → passive
+// intake holders.
+func (f *Feed) buildIntakeSpec() (*hyracks.JobSpec, error) {
+	spec := hyracks.NewJobSpec()
+	spec.QueueCapacity = f.cluster.Tuning().HolderCapacity
+	cfg := f.cfg
+	adapterOp := spec.AddOperator(&hyracks.Descriptor{
+		Name:        "adapter",
+		Parallelism: len(cfg.IntakeNodes),
+		NodeOf:      func(p int) int { return cfg.IntakeNodes[p] },
+		NewSource: func(p int) (hyracks.Source, error) {
+			adapter, err := cfg.NewAdapter(p)
+			if err != nil {
+				return nil, err
+			}
+			return hyracks.SourceFunc(func(tc *hyracks.TaskContext, out hyracks.Writer) error {
+				if err := out.Open(); err != nil {
+					return err
+				}
+				b := hyracks.NewFrameBuilder(f.frameCap, out)
+				err := adapter.Run(f.adaptCtx, func(raw []byte) error {
+					return b.Add(adm.String(string(raw)))
+				})
+				if err != nil && !(errors.Is(err, context.Canceled) && f.adaptCtx.Err() != nil) {
+					return err
+				}
+				return b.Flush()
+			}), nil
+		},
+	})
+	holderOp := spec.AddOperator(&hyracks.Descriptor{
+		Name:        "intake-partition-holder",
+		Parallelism: f.cluster.NumNodes(),
+		NewPipe: func(p int) (hyracks.Pipe, error) {
+			return f.intakeHolders[p], nil
+		},
+	})
+	spec.Connect(adapterOp, holderOp, hyracks.RoundRobin, nil)
+	return spec, nil
+}
+
+// buildStorageSpec assembles active storage holders → hash partitioner →
+// LSM partition writers.
+func (f *Feed) buildStorageSpec() *hyracks.JobSpec {
+	spec := hyracks.NewJobSpec()
+	spec.QueueCapacity = f.cluster.Tuning().HolderCapacity
+	holderOp := spec.AddOperator(&hyracks.Descriptor{
+		Name:        "storage-partition-holder",
+		Parallelism: f.cluster.NumNodes(),
+		NewSource: func(p int) (hyracks.Source, error) {
+			return f.storageHolders[p], nil
+		},
+	})
+	pk := f.ds.PrimaryKey()
+	writerOp := spec.AddOperator(&hyracks.Descriptor{
+		Name:        "storage-partition-writer",
+		Parallelism: f.cluster.NumNodes(),
+		NewPipe: func(p int) (hyracks.Pipe, error) {
+			part := f.ds.Partition(p)
+			return &hyracks.SinkPipe{
+				Fn: func(_ *hyracks.TaskContext, fr hyracks.Frame) error {
+					for _, rec := range fr.Records {
+						key := rec.Field(pk)
+						if key.IsUnknown() {
+							return fmt.Errorf("core: record missing primary key %q", pk)
+						}
+						part.Upsert(key, rec)
+					}
+					part.WAL().Commit() // group commit per frame
+					f.stats.Stored.Add(int64(fr.Len()))
+					return nil
+				},
+			}, nil
+		},
+	})
+	spec.Connect(holderOp, writerOp, hyracks.HashPartition, func(rec adm.Value) uint64 {
+		return adm.Hash(rec.Field(pk))
+	})
+	return spec
+}
+
+// invocation is the per-batch state of one computing job.
+type invocation struct {
+	prepared  *query.PreparedEnrich
+	instances []udf.Instance
+	records   atomic.Int64
+}
+
+// newInvocation performs the per-batch build phase: Prepare fresh SQL++
+// state from current snapshots, or re-initialize native instances so
+// resource-file updates are observed.
+func (f *Feed) newInvocation() (*invocation, error) {
+	inv := &invocation{}
+	if f.plan != nil {
+		plan := f.plan
+		if f.cfg.RecompilePerBatch {
+			// Ablation: repeat the whole compilation the predeployed-job
+			// technique would have cached.
+			fn, _ := f.cluster.Function(f.cfg.Function)
+			recompiled, err := query.CompileEnrich(fn.Name, fn.Params, fn.Body, f.cluster,
+				query.PlanOptions{DisableIndexes: f.cfg.DisableIndexes})
+			if err != nil {
+				return nil, err
+			}
+			plan = recompiled
+		}
+		pe, err := plan.Prepare(f.cluster)
+		if err != nil {
+			return nil, err
+		}
+		inv.prepared = pe
+	}
+	if f.native != nil {
+		inv.instances = make([]udf.Instance, f.cluster.NumNodes())
+		for p := range inv.instances {
+			inst := f.native.New()
+			if err := inst.Initialize(p); err != nil {
+				return nil, err
+			}
+			inv.instances[p] = inst
+		}
+	}
+	return inv, nil
+}
+
+// buildComputeSpec assembles one invocation: collector+parser → UDF
+// evaluator → feed pipeline sink, one instance per node, no cross-node
+// exchange (the storage job's hash partitioner does the routing).
+func (f *Feed) buildComputeSpec(inv *invocation) *hyracks.JobSpec {
+	spec := hyracks.NewJobSpec()
+	spec.QueueCapacity = f.cluster.Tuning().HolderCapacity
+	n := f.cluster.NumNodes()
+
+	collectorOp := spec.AddOperator(&hyracks.Descriptor{
+		Name:        "collector-parser",
+		Parallelism: n,
+		NewSource: func(p int) (hyracks.Source, error) {
+			return hyracks.SourceFunc(func(tc *hyracks.TaskContext, out hyracks.Writer) error {
+				if err := out.Open(); err != nil {
+					return err
+				}
+				if f.eof[p].Load() {
+					return nil
+				}
+				raws, eof, err := f.intakeHolders[p].PullBatch(tc.Ctx, f.quota)
+				if err != nil {
+					return err
+				}
+				if eof {
+					f.eof[p].Store(true)
+				}
+				b := hyracks.NewFrameBuilder(f.frameCap, out)
+				for _, raw := range raws {
+					rec, perr := f.parseRecord(raw)
+					if perr != nil {
+						f.stats.ParseErrors.Add(1)
+						continue
+					}
+					inv.records.Add(1)
+					if err := b.Add(rec); err != nil {
+						return err
+					}
+				}
+				return b.Flush()
+			}), nil
+		},
+	})
+
+	evalOp := spec.AddOperator(&hyracks.Descriptor{
+		Name:        "udf-evaluator",
+		Parallelism: n,
+		NewPipe: func(p int) (hyracks.Pipe, error) {
+			return &hyracks.MapPipe{Fn: func(rec adm.Value) (adm.Value, bool, error) {
+				switch {
+				case inv.prepared != nil:
+					v, err := inv.prepared.EvalRecord(rec)
+					if err != nil {
+						return adm.Value{}, false, err
+					}
+					return v, true, nil
+				case inv.instances != nil:
+					v, err := inv.instances[p].Evaluate(rec)
+					if err != nil {
+						return adm.Value{}, false, err
+					}
+					return v, true, nil
+				default:
+					return rec, true, nil
+				}
+			}}, nil
+		},
+	})
+
+	spec.Connect(collectorOp, evalOp, hyracks.OneToOne, nil)
+
+	if f.cfg.FusedInsert {
+		// Section 5.1's insert job: UDF evaluation and storage write in
+		// one job — the write (and its log flush) gates the invocation.
+		pk := f.ds.PrimaryKey()
+		writerOp := spec.AddOperator(&hyracks.Descriptor{
+			Name:        "fused-storage-writer",
+			Parallelism: n,
+			NewPipe: func(p int) (hyracks.Pipe, error) {
+				part := f.ds.Partition(p)
+				return &hyracks.SinkPipe{
+					Fn: func(_ *hyracks.TaskContext, fr hyracks.Frame) error {
+						for _, rec := range fr.Records {
+							key := rec.Field(pk)
+							if key.IsUnknown() {
+								return fmt.Errorf("core: record missing primary key %q", pk)
+							}
+							part.Upsert(key, rec)
+						}
+						part.WAL().Commit()
+						f.stats.Stored.Add(int64(fr.Len()))
+						return nil
+					},
+				}, nil
+			},
+		})
+		spec.Connect(evalOp, writerOp, hyracks.HashPartition, func(rec adm.Value) uint64 {
+			return adm.Hash(rec.Field(pk))
+		})
+		return spec
+	}
+
+	sinkOp := spec.AddOperator(&hyracks.Descriptor{
+		Name:        "feed-pipeline-sink",
+		Parallelism: n,
+		NewPipe: func(p int) (hyracks.Pipe, error) {
+			return &hyracks.SinkPipe{
+				Fn: func(tc *hyracks.TaskContext, fr hyracks.Frame) error {
+					return f.storageHolders[p].Push(tc.Ctx, fr)
+				},
+			}, nil
+		},
+	})
+	spec.Connect(evalOp, sinkOp, hyracks.OneToOne, nil)
+	return spec
+}
+
+// parseRecord turns raw feed bytes into a validated ADM record.
+func (f *Feed) parseRecord(raw adm.Value) (adm.Value, error) {
+	rec, err := adm.ParseJSON([]byte(raw.StringVal()))
+	if err != nil {
+		return adm.Value{}, err
+	}
+	if f.dt != nil {
+		return f.dt.Validate(rec)
+	}
+	return rec, nil
+}
+
+// runAFM is the Active Feed Manager loop: keep invoking computing jobs
+// while any intake partition still has data, then shut the storage job
+// down.
+func (f *Feed) runAFM() {
+	defer close(f.afmDone)
+	for f.jobCtx.Err() == nil && !f.allEOF() {
+		start := time.Now()
+		inv, err := f.newInvocation()
+		if err != nil {
+			f.fail(err)
+			break
+		}
+		spec := f.buildComputeSpec(inv)
+		var job *hyracks.Job
+		if f.cfg.RecompilePerBatch {
+			job, err = f.cluster.StartJob(f.jobCtx, spec, f.computeID)
+		} else {
+			job, err = f.cluster.InvokePredeployed(f.jobCtx, f.computeID, spec)
+		}
+		if err != nil {
+			f.fail(err)
+			break
+		}
+		if err := job.Wait(); err != nil {
+			f.fail(err)
+			break
+		}
+		f.stats.Invocations.Add(1)
+		f.stats.BatchNanos.Add(time.Since(start).Nanoseconds())
+		f.stats.Ingested.Add(inv.records.Load())
+	}
+	for _, sh := range f.storageHolders {
+		sh.CloseInput()
+	}
+}
+
+func (f *Feed) allEOF() bool {
+	for i := range f.eof {
+		if !f.eof[i].Load() {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Feed) fail(err error) {
+	if err == nil {
+		return
+	}
+	f.errOnce.Do(func() { f.feedErr = err })
+	f.jobCancel()
+}
+
+// failAsync records a failure from outside the AFM goroutine (the
+// storage watchdog).
+func (f *Feed) failAsync(err error) { f.fail(err) }
+
+// Stop gracefully ends the feed: adapters stop taking new data, the
+// remaining batches drain, then the storage job finishes.
+func (f *Feed) Stop() { f.adaptStop() }
+
+// Wait blocks until the whole pipeline has drained and returns the first
+// error. For generator-backed feeds it returns once all generated data
+// is stored; socket/channel feeds need Stop first.
+func (f *Feed) Wait() error {
+	intakeErr := f.intakeJob.Wait()
+	<-f.afmDone
+	var storageErr error
+	if f.storageJob != nil {
+		storageErr = f.storageJob.Wait()
+	}
+	f.teardownHolders()
+	f.cluster.Undeploy(f.computeID)
+	f.jobCancel()
+	switch {
+	case f.feedErr != nil:
+		return f.feedErr
+	case intakeErr != nil:
+		return intakeErr
+	default:
+		return storageErr
+	}
+}
+
+func (f *Feed) teardownHolders() {
+	for p := 0; p < f.cluster.NumNodes(); p++ {
+		f.cluster.Node(p).Holders.Unregister(f.cfg.Name)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/cluster"
+	"github.com/ideadb/idea/internal/udf"
+)
+
+// Manager is the Active Feed Manager's control surface: it tracks
+// declared feeds (CREATE FEED), their connections (CONNECT FEED), and
+// their running pipelines (START/STOP FEED). One Manager lives on the
+// cluster controller.
+type Manager struct {
+	cluster   *cluster.Cluster
+	Natives   *udf.Registry
+	Resources *udf.ResourceStore
+
+	mu    sync.Mutex
+	feeds map[string]*managedFeed
+}
+
+type managedFeed struct {
+	name    string
+	config  adm.Value // raw CREATE FEED WITH {...} config
+	adapter func(i int) (Adapter, error)
+	dataset string
+	fn      string
+	running *Feed
+}
+
+// NewManager returns a Manager bound to the cluster.
+func NewManager(c *cluster.Cluster) *Manager {
+	return &Manager{
+		cluster:   c,
+		Natives:   udf.NewRegistry(),
+		Resources: udf.NewResourceStore(),
+		feeds:     make(map[string]*managedFeed),
+	}
+}
+
+// CreateFeed declares a feed from its WITH-config. Supported adapters:
+// "socket_adapter" (config key "sockets") and "channel_adapter" (the
+// caller supplies the channel via SetAdapterFactory).
+func (m *Manager) CreateFeed(name string, config adm.Value) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.feeds[name]; dup {
+		return fmt.Errorf("core: feed %q exists", name)
+	}
+	mf := &managedFeed{name: name, config: config}
+	switch adapterName := config.Field("adapter-name").StringVal(); adapterName {
+	case "socket_adapter":
+		addr := config.Field("sockets").StringVal()
+		if addr == "" {
+			return fmt.Errorf("core: socket_adapter needs a \"sockets\" address")
+		}
+		mf.adapter = func(int) (Adapter, error) { return &SocketAdapter{Addr: addr}, nil }
+	case "", "channel_adapter":
+		// factory installed later via SetAdapterFactory
+	default:
+		return fmt.Errorf("core: unknown adapter %q", adapterName)
+	}
+	m.feeds[name] = mf
+	return nil
+}
+
+// SetAdapterFactory installs a programmatic adapter factory for a feed
+// (generator and channel adapters).
+func (m *Manager) SetAdapterFactory(feed string, factory func(i int) (Adapter, error)) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mf, ok := m.feeds[feed]
+	if !ok {
+		return fmt.Errorf("core: unknown feed %q", feed)
+	}
+	mf.adapter = factory
+	return nil
+}
+
+// ConnectFeed binds a feed to its target dataset and optional UDF.
+func (m *Manager) ConnectFeed(feed, dataset, function string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mf, ok := m.feeds[feed]
+	if !ok {
+		return fmt.Errorf("core: unknown feed %q", feed)
+	}
+	if _, ok := m.cluster.Dataset(dataset); !ok {
+		return fmt.Errorf("core: unknown dataset %q", dataset)
+	}
+	mf.dataset = dataset
+	mf.fn = function
+	return nil
+}
+
+// StartFeed launches the feed's dynamic pipeline.
+func (m *Manager) StartFeed(ctx context.Context, name string) (*Feed, error) {
+	m.mu.Lock()
+	mf, ok := m.feeds[name]
+	if !ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("core: unknown feed %q", name)
+	}
+	if mf.running != nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("core: feed %q already running", name)
+	}
+	if mf.dataset == "" {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("core: feed %q is not connected to a dataset", name)
+	}
+	if mf.adapter == nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("core: feed %q has no adapter", name)
+	}
+	cfg := Config{
+		Name:       name,
+		Dataset:    mf.dataset,
+		Function:   mf.fn,
+		NewAdapter: mf.adapter,
+		Natives:    m.Natives,
+	}
+	if bs, ok := mf.config.Field("batch-size").AsInt(); ok {
+		cfg.BatchSize = int(bs)
+	}
+	m.mu.Unlock()
+
+	f, err := Start(ctx, m.cluster, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	mf.running = f
+	m.mu.Unlock()
+	return f, nil
+}
+
+// StopFeed gracefully stops a running feed and waits for it to drain.
+func (m *Manager) StopFeed(name string) error {
+	m.mu.Lock()
+	mf, ok := m.feeds[name]
+	if !ok || mf.running == nil {
+		m.mu.Unlock()
+		return fmt.Errorf("core: feed %q is not running", name)
+	}
+	f := mf.running
+	mf.running = nil
+	m.mu.Unlock()
+	f.Stop()
+	return f.Wait()
+}
+
+// Feed returns the running pipeline of a feed, if any.
+func (m *Manager) Feed(name string) (*Feed, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mf, ok := m.feeds[name]
+	if !ok || mf.running == nil {
+		return nil, false
+	}
+	return mf.running, true
+}

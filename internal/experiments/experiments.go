@@ -1,0 +1,178 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (Section 7). Each runner builds the workload at the
+// requested scale, drives the ingestion framework through the same
+// parameter sweeps the paper reports, and returns a printable table
+// whose rows mirror the paper's series. Absolute numbers differ from the
+// paper's 2009-era cluster; the shapes are the reproduction target (see
+// EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/ideadb/idea/internal/cluster"
+)
+
+// Options configures a run.
+type Options struct {
+	// Scale multiplies the paper's dataset/tweet counts (1.0 = paper
+	// scale). The default 0.01 keeps every figure laptop-sized.
+	Scale float64
+	// Nodes overrides the figure's cluster-size sweep.
+	Nodes []int
+	// Tweets overrides the figure's (scaled) tweet count.
+	Tweets int
+	// Seed makes the workload deterministic.
+	Seed int64
+	// Tuning overrides the cluster tuning (zero value = defaults).
+	Tuning *cluster.Tuning
+	// Verbose streams per-cell progress to Out.
+	Verbose bool
+	// Out receives progress output (defaults to io.Discard).
+	Out io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.01
+	}
+	if o.Seed == 0 {
+		o.Seed = 2019
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+func (o Options) tuning() cluster.Tuning {
+	if o.Tuning != nil {
+		return *o.Tuning
+	}
+	return cluster.DefaultTuning()
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Verbose {
+		fmt.Fprintf(o.Out, format+"\n", args...)
+	}
+}
+
+// tweetCount applies scale (and override) to a figure's paper-scale
+// tweet count.
+func (o Options) tweetCount(paperCount int) int {
+	if o.Tweets > 0 {
+		return o.Tweets
+	}
+	n := int(float64(paperCount) * o.Scale)
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+func (o Options) nodes(def []int) []int {
+	if len(o.Nodes) > 0 {
+		return o.Nodes
+	}
+	return def
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Print renders the table in aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// Runner produces one figure's table.
+type Runner func(Options) (*Table, error)
+
+// Registry maps experiment ids (fig24 ... fig31, ablations) to runners.
+var Registry = map[string]Runner{
+	"fig24":              Fig24BasicIngestion,
+	"fig25":              Fig25EnrichmentUDFs,
+	"fig26":              Fig26RefreshPeriods,
+	"fig27":              Fig27UpdateRates,
+	"fig28":              Fig28RefScaleOut,
+	"fig29":              Fig29Complexity,
+	"fig30":              Fig30SpeedUp,
+	"fig31":              Fig31ComplexScaleOut,
+	"ablation-static":    AblationStaticVsDynamic,
+	"approaches":         ApproachesComparison,
+	"ablation-predeploy": AblationPredeployed,
+	"ablation-decoupled": AblationDecoupled,
+	"ablation-queue":     AblationQueueCapacity,
+}
+
+// Names returns the registered experiment ids, sorted.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(name string, opts Options) (*Table, error) {
+	r, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return r(opts)
+}
+
+func fmtThroughput(recsPerSec float64) string {
+	return fmt.Sprintf("%.0f", recsPerSec)
+}
+
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+func fmtSpeedup(s float64) string {
+	return fmt.Sprintf("%.2fx", s)
+}

@@ -1,0 +1,82 @@
+// Package hyracks implements the partitioned-parallel dataflow runtime
+// the ingestion framework runs on, mirroring the architecture of the
+// Hyracks engine underneath AsterixDB: jobs are DAGs of operators and
+// connectors; data flows in frames of records; each operator runs one
+// instance per partition; connectors route frames between partitions
+// (one-to-one, round-robin, hash, broadcast).
+//
+// It also provides the paper's partition holders: queue-guarded
+// endpoints that let one job hand frames to another at runtime, which
+// plain Hyracks jobs cannot do ("data exchanges in Hyracks are limited
+// to being within the scope of a job").
+package hyracks
+
+import (
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// Frame is a batch of records moving through a dataflow, the unit of
+// transfer between operators.
+type Frame struct {
+	Records []adm.Value
+}
+
+// Len returns the number of records in the frame.
+func (f Frame) Len() int { return len(f.Records) }
+
+// Writer is the push-based receiving surface of a downstream operator or
+// connector (Hyracks' IFrameWriter).
+type Writer interface {
+	// Open readies the writer; it is called exactly once before any Push.
+	Open() error
+	// Push delivers one frame.
+	Push(f Frame) error
+	// Close signals end-of-data; no Push may follow.
+	Close() error
+}
+
+// discardWriter terminates a dataflow branch with no consumers.
+type discardWriter struct{}
+
+func (discardWriter) Open() error      { return nil }
+func (discardWriter) Push(Frame) error { return nil }
+func (discardWriter) Close() error     { return nil }
+
+// Discard is a Writer that drops everything (the output of sink
+// operators).
+var Discard Writer = discardWriter{}
+
+// FrameBuilder accumulates records and emits full frames to a Writer.
+type FrameBuilder struct {
+	capacity int
+	buf      []adm.Value
+	out      Writer
+}
+
+// NewFrameBuilder returns a builder emitting frames of up to capacity
+// records into out.
+func NewFrameBuilder(capacity int, out Writer) *FrameBuilder {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &FrameBuilder{capacity: capacity, out: out}
+}
+
+// Add appends one record, flushing when the frame is full.
+func (b *FrameBuilder) Add(rec adm.Value) error {
+	b.buf = append(b.buf, rec)
+	if len(b.buf) >= b.capacity {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Flush emits any buffered records as a frame.
+func (b *FrameBuilder) Flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	f := Frame{Records: b.buf}
+	b.buf = make([]adm.Value, 0, b.capacity)
+	return b.out.Push(f)
+}

@@ -1,0 +1,295 @@
+package hyracks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// ErrHolderClosed is returned when pushing into a holder whose input has
+// been closed.
+var ErrHolderClosed = errors.New("hyracks: partition holder closed")
+
+// PassiveHolder is the paper's passive partition holder: it guards a
+// runtime partition with a bounded frame queue; the owning job pushes
+// frames in (implementing Pipe as the job's sink), and *other* jobs pull
+// batches out. The intake job ends in one of these so computing jobs can
+// collect their input batches.
+type PassiveHolder struct {
+	queue chan Frame
+
+	mu     sync.Mutex
+	closed bool
+
+	leftover []adm.Value // records pulled but not yet returned
+}
+
+// NewPassiveHolder returns a holder with the given frame-queue capacity
+// (the backpressure bound).
+func NewPassiveHolder(capacity int) *PassiveHolder {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &PassiveHolder{queue: make(chan Frame, capacity)}
+}
+
+// Open implements Pipe.
+func (h *PassiveHolder) Open(*TaskContext, Writer) error { return nil }
+
+// Push implements Pipe: enqueue the frame, blocking when full
+// (backpressure to the producer) unless the job is canceled.
+func (h *PassiveHolder) Push(tc *TaskContext, f Frame, _ Writer) error {
+	select {
+	case h.queue <- f:
+		return nil
+	case <-tc.Ctx.Done():
+		return tc.Ctx.Err()
+	}
+}
+
+// Close implements Pipe: marks end of input. Pulls drain the queue then
+// report EOF.
+func (h *PassiveHolder) Close(*TaskContext, Writer) error {
+	h.CloseInput()
+	return nil
+}
+
+// CloseInput marks the holder's input as finished (the "EOF record" of
+// the paper's stop-feed protocol).
+func (h *PassiveHolder) CloseInput() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.closed = true
+		close(h.queue)
+	}
+}
+
+// PushFrame enqueues a frame from outside a dataflow (adapters use it).
+// It blocks when the queue is full unless ctx is canceled.
+func (h *PassiveHolder) PushFrame(ctx context.Context, f Frame) error {
+	h.mu.Lock()
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		return ErrHolderClosed
+	}
+	select {
+	case h.queue <- f:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// PullBatch collects up to max records for a computing-job invocation.
+// It blocks until at least one record is available (or input is closed),
+// then drains without blocking up to the limit. eof reports that the
+// holder is closed *and* fully drained.
+func (h *PassiveHolder) PullBatch(ctx context.Context, max int) (recs []adm.Value, eof bool, err error) {
+	recs = h.takeLeftover(nil, max)
+	if len(recs) < max {
+		if len(recs) == 0 {
+			// Block for the first frame.
+			select {
+			case f, ok := <-h.queue:
+				if !ok {
+					return nil, true, nil
+				}
+				recs = h.stash(recs, f.Records, max)
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		// Drain whatever else is immediately available.
+		for len(recs) < max {
+			select {
+			case f, ok := <-h.queue:
+				if !ok {
+					return recs, len(recs) == 0, nil
+				}
+				recs = h.stash(recs, f.Records, max)
+			default:
+				return recs, false, nil
+			}
+		}
+	}
+	return recs, false, nil
+}
+
+// stash appends up to max records, keeping any overflow for the next
+// pull.
+func (h *PassiveHolder) stash(recs, incoming []adm.Value, max int) []adm.Value {
+	room := max - len(recs)
+	if room >= len(incoming) {
+		return append(recs, incoming...)
+	}
+	recs = append(recs, incoming[:room]...)
+	h.mu.Lock()
+	h.leftover = append(h.leftover, incoming[room:]...)
+	h.mu.Unlock()
+	return recs
+}
+
+func (h *PassiveHolder) takeLeftover(recs []adm.Value, max int) []adm.Value {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	room := max - len(recs)
+	if room <= 0 || len(h.leftover) == 0 {
+		return recs
+	}
+	n := room
+	if n > len(h.leftover) {
+		n = len(h.leftover)
+	}
+	recs = append(recs, h.leftover[:n]...)
+	h.leftover = h.leftover[n:]
+	if len(h.leftover) == 0 {
+		h.leftover = nil
+	}
+	return recs
+}
+
+// Pending reports queued records (approximate; frames in queue plus
+// leftovers).
+func (h *PassiveHolder) Pending() int {
+	h.mu.Lock()
+	n := len(h.leftover)
+	h.mu.Unlock()
+	n += len(h.queue) // frame count, not record count; indicative only
+	return n
+}
+
+// ActiveHolder is the paper's active partition holder: it heads the
+// storage job, receiving frames pushed by computing jobs and actively
+// forwarding them into its own job's dataflow. It is a Source from its
+// job's perspective.
+type ActiveHolder struct {
+	queue chan Frame
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewActiveHolder returns a holder with the given queue capacity.
+func NewActiveHolder(capacity int) *ActiveHolder {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &ActiveHolder{queue: make(chan Frame, capacity)}
+}
+
+// Push delivers a frame from another job (computing jobs call this). It
+// blocks when the queue is full.
+func (h *ActiveHolder) Push(ctx context.Context, f Frame) error {
+	h.mu.Lock()
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		return ErrHolderClosed
+	}
+	select {
+	case h.queue <- f:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CloseInput ends the stream; the owning job's Run drains and returns.
+func (h *ActiveHolder) CloseInput() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.closed = true
+		close(h.queue)
+	}
+}
+
+// Run implements Source: forward queued frames downstream until the
+// input is closed.
+func (h *ActiveHolder) Run(tc *TaskContext, out Writer) error {
+	if err := out.Open(); err != nil {
+		return err
+	}
+	for {
+		select {
+		case f, ok := <-h.queue:
+			if !ok {
+				return nil
+			}
+			if err := out.Push(f); err != nil {
+				return err
+			}
+		case <-tc.Ctx.Done():
+			return tc.Ctx.Err()
+		}
+	}
+}
+
+// HolderManager is the per-node registry partition holders register
+// with, so jobs can locate their peers' endpoints ("jobs sending/
+// receiving data to/from another job can locate the corresponding
+// partition holders through local partition holder managers").
+type HolderManager struct {
+	mu      sync.Mutex
+	passive map[string]*PassiveHolder
+	active  map[string]*ActiveHolder
+}
+
+// NewHolderManager returns an empty registry.
+func NewHolderManager() *HolderManager {
+	return &HolderManager{
+		passive: make(map[string]*PassiveHolder),
+		active:  make(map[string]*ActiveHolder),
+	}
+}
+
+// RegisterPassive adds a passive holder under id.
+func (m *HolderManager) RegisterPassive(id string, h *PassiveHolder) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.passive[id]; dup {
+		return fmt.Errorf("hyracks: passive holder %q already registered", id)
+	}
+	m.passive[id] = h
+	return nil
+}
+
+// RegisterActive adds an active holder under id.
+func (m *HolderManager) RegisterActive(id string, h *ActiveHolder) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.active[id]; dup {
+		return fmt.Errorf("hyracks: active holder %q already registered", id)
+	}
+	m.active[id] = h
+	return nil
+}
+
+// Passive looks up a passive holder.
+func (m *HolderManager) Passive(id string) (*PassiveHolder, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.passive[id]
+	return h, ok
+}
+
+// Active looks up an active holder.
+func (m *HolderManager) Active(id string) (*ActiveHolder, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.active[id]
+	return h, ok
+}
+
+// Unregister removes a holder id from both tables (feed teardown).
+func (m *HolderManager) Unregister(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.passive, id)
+	delete(m.active, id)
+}

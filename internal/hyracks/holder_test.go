@@ -1,0 +1,260 @@
+package hyracks
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPassiveHolderPullBatch(t *testing.T) {
+	h := NewPassiveHolder(8)
+	ctx := context.Background()
+	if err := h.PushFrame(ctx, Frame{Records: intRecords(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.PushFrame(ctx, Frame{Records: intRecords(5)}); err != nil {
+		t.Fatal(err)
+	}
+	// Pull larger than available: gets everything queued, not EOF.
+	recs, eof, err := h.PullBatch(ctx, 100)
+	if err != nil || eof {
+		t.Fatalf("PullBatch: %v eof=%v", err, eof)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	// Pull smaller than a frame: leftover is preserved.
+	h.PushFrame(ctx, Frame{Records: intRecords(10)})
+	recs, _, _ = h.PullBatch(ctx, 3)
+	if len(recs) != 3 {
+		t.Fatalf("got %d, want 3", len(recs))
+	}
+	recs, _, _ = h.PullBatch(ctx, 100)
+	if len(recs) != 7 {
+		t.Fatalf("leftover pull got %d, want 7", len(recs))
+	}
+	// EOF after close and drain.
+	h.CloseInput()
+	recs, eof, _ = h.PullBatch(ctx, 10)
+	if len(recs) != 0 || !eof {
+		t.Fatalf("after close: %d recs eof=%v", len(recs), eof)
+	}
+	// Pushing after close fails.
+	if err := h.PushFrame(ctx, Frame{}); !errors.Is(err, ErrHolderClosed) {
+		t.Errorf("push after close = %v", err)
+	}
+}
+
+func TestPassiveHolderBlocksUntilData(t *testing.T) {
+	h := NewPassiveHolder(4)
+	ctx := context.Background()
+	got := make(chan int, 1)
+	go func() {
+		recs, _, _ := h.PullBatch(ctx, 10)
+		got <- len(recs)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.PushFrame(ctx, Frame{Records: intRecords(2)})
+	select {
+	case n := <-got:
+		if n != 2 {
+			t.Errorf("pulled %d", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PullBatch never returned")
+	}
+}
+
+func TestPassiveHolderPullCancel(t *testing.T) {
+	h := NewPassiveHolder(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := h.PullBatch(ctx, 10)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("expected context error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not unblock pull")
+	}
+}
+
+func TestPassiveHolderBackpressure(t *testing.T) {
+	h := NewPassiveHolder(1)
+	ctx := context.Background()
+	h.PushFrame(ctx, Frame{Records: intRecords(1)})
+	blocked := make(chan struct{})
+	go func() {
+		h.PushFrame(ctx, Frame{Records: intRecords(1)}) // fills nothing: queue cap 1
+		h.PushFrame(ctx, Frame{Records: intRecords(1)}) // must block
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("expected producer to block on full queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Draining unblocks.
+	h.PullBatch(ctx, 100)
+	select {
+	case <-blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not unblock producer")
+	}
+}
+
+func TestActiveHolderForwarding(t *testing.T) {
+	h := NewActiveHolder(8)
+	spec := NewJobSpec()
+	src := spec.AddOperator(&Descriptor{
+		Name: "storage-holder", Parallelism: 1,
+		NewSource: func(int) (Source, error) { return h, nil },
+	})
+	var col Collector
+	sink := spec.AddOperator(&Descriptor{
+		Name: "store", Parallelism: 1,
+		NewPipe: func(int) (Pipe, error) { return col.Sink(), nil },
+	})
+	spec.Connect(src, sink, OneToOne, nil)
+	job, err := spec.Run(context.Background(), "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Concurrent pushers, like overlapping computing-job partitions.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := h.Push(ctx, Frame{Records: intRecords(4)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	h.CloseInput()
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() != 4*25*4 {
+		t.Errorf("stored %d records, want 400", col.Len())
+	}
+	if err := h.Push(ctx, Frame{}); !errors.Is(err, ErrHolderClosed) {
+		t.Errorf("push after close = %v", err)
+	}
+}
+
+func TestHolderManager(t *testing.T) {
+	m := NewHolderManager()
+	p := NewPassiveHolder(4)
+	a := NewActiveHolder(4)
+	if err := m.RegisterPassive("feed1/0", p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterPassive("feed1/0", p); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if err := m.RegisterActive("feed1/0", a); err != nil {
+		t.Fatal(err) // active and passive namespaces are separate
+	}
+	if got, ok := m.Passive("feed1/0"); !ok || got != p {
+		t.Error("passive lookup failed")
+	}
+	if got, ok := m.Active("feed1/0"); !ok || got != a {
+		t.Error("active lookup failed")
+	}
+	if _, ok := m.Passive("nope"); ok {
+		t.Error("lookup miss expected")
+	}
+	m.Unregister("feed1/0")
+	if _, ok := m.Passive("feed1/0"); ok {
+		t.Error("unregister failed")
+	}
+}
+
+// TestIntakeComputeStoragePattern wires the paper's three-job layering
+// in miniature: an intake job ends in passive holders; computing
+// "invocations" pull batches, transform, and push into an active holder
+// heading a storage job.
+func TestIntakeComputeStoragePattern(t *testing.T) {
+	ctx := context.Background()
+	const total = 500
+
+	// Intake job: source → round robin → passive holders (2 partitions).
+	intake := NewJobSpec()
+	isrc := intake.AddOperator(&Descriptor{
+		Name: "adapter", Parallelism: 1,
+		NewSource: func(int) (Source, error) {
+			return &SliceSource{Records: intRecords(total), FrameCap: 16}, nil
+		},
+	})
+	holders := []*PassiveHolder{NewPassiveHolder(16), NewPassiveHolder(16)}
+	ih := intake.AddOperator(&Descriptor{
+		Name: "intake-holder", Parallelism: 2,
+		NewPipe: func(p int) (Pipe, error) { return holders[p], nil },
+	})
+	intake.Connect(isrc, ih, RoundRobin, nil)
+	intakeJob, err := intake.Run(ctx, "intake")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Storage job: active holder → collector.
+	storageHolder := NewActiveHolder(16)
+	storage := NewJobSpec()
+	ssrc := storage.AddOperator(&Descriptor{
+		Name: "storage-holder", Parallelism: 1,
+		NewSource: func(int) (Source, error) { return storageHolder, nil },
+	})
+	var stored Collector
+	ssink := storage.AddOperator(&Descriptor{
+		Name: "partition-writer", Parallelism: 1,
+		NewPipe: func(int) (Pipe, error) { return stored.Sink(), nil },
+	})
+	storage.Connect(ssrc, ssink, OneToOne, nil)
+	storageJob, err := storage.Run(ctx, "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Computing "invocations": pull batches until both holders EOF.
+	done := 0
+	for done < len(holders) {
+		done = 0
+		for _, h := range holders {
+			recs, eof, err := h.PullBatch(ctx, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) > 0 {
+				if err := storageHolder.Push(ctx, Frame{Records: recs}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if eof {
+				done++
+			}
+		}
+	}
+	if err := intakeJob.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	storageHolder.CloseInput()
+	if err := storageJob.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if stored.Len() != total {
+		t.Errorf("stored %d, want %d", stored.Len(), total)
+	}
+}

@@ -1,0 +1,115 @@
+package hyracks
+
+import (
+	"sync"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// MapPipe applies fn to each record. A nil result drops the record
+// (filtering).
+type MapPipe struct {
+	Fn func(adm.Value) (adm.Value, bool, error)
+}
+
+// Open implements Pipe.
+func (m *MapPipe) Open(*TaskContext, Writer) error { return nil }
+
+// Push implements Pipe.
+func (m *MapPipe) Push(_ *TaskContext, f Frame, out Writer) error {
+	outRecs := make([]adm.Value, 0, len(f.Records))
+	for _, rec := range f.Records {
+		v, keep, err := m.Fn(rec)
+		if err != nil {
+			return err
+		}
+		if keep {
+			outRecs = append(outRecs, v)
+		}
+	}
+	if len(outRecs) == 0 {
+		return nil
+	}
+	return out.Push(Frame{Records: outRecs})
+}
+
+// Close implements Pipe.
+func (m *MapPipe) Close(*TaskContext, Writer) error { return nil }
+
+// SinkPipe consumes records with fn and forwards nothing.
+type SinkPipe struct {
+	Fn      func(tc *TaskContext, f Frame) error
+	OnClose func(tc *TaskContext) error
+}
+
+// Open implements Pipe.
+func (s *SinkPipe) Open(*TaskContext, Writer) error { return nil }
+
+// Push implements Pipe.
+func (s *SinkPipe) Push(tc *TaskContext, f Frame, _ Writer) error {
+	return s.Fn(tc, f)
+}
+
+// Close implements Pipe.
+func (s *SinkPipe) Close(tc *TaskContext, _ Writer) error {
+	if s.OnClose != nil {
+		return s.OnClose(tc)
+	}
+	return nil
+}
+
+// SliceSource emits a record slice as frames (tests and bulk loads).
+type SliceSource struct {
+	Records  []adm.Value
+	FrameCap int
+}
+
+// Run implements Source.
+func (s *SliceSource) Run(tc *TaskContext, out Writer) error {
+	if err := out.Open(); err != nil {
+		return err
+	}
+	b := NewFrameBuilder(s.FrameCap, out)
+	for _, rec := range s.Records {
+		select {
+		case <-tc.Ctx.Done():
+			return tc.Ctx.Err()
+		default:
+		}
+		if err := b.Add(rec); err != nil {
+			return err
+		}
+	}
+	return b.Flush()
+}
+
+// Collector is a concurrency-safe record sink used by tests and result
+// delivery.
+type Collector struct {
+	mu   sync.Mutex
+	recs []adm.Value
+}
+
+// Sink returns a SinkPipe appending into the collector.
+func (c *Collector) Sink() *SinkPipe {
+	return &SinkPipe{Fn: func(_ *TaskContext, f Frame) error {
+		c.mu.Lock()
+		c.recs = append(c.recs, f.Records...)
+		c.mu.Unlock()
+		return nil
+	}}
+}
+
+// Records returns a copy of everything collected.
+func (c *Collector) Records() []adm.Value {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]adm.Value(nil), c.recs...)
+}
+
+// Len returns the number of collected records.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}

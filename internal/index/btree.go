@@ -1,0 +1,330 @@
+// Package index provides the ordered and spatial index structures used
+// across the storage engine: an in-memory B-tree (LSM memtables, primary
+// key lookups, secondary B-tree indexes) and an R-tree (spatial
+// secondary indexes and the transient probe structures the enrichment
+// planner builds per batch).
+//
+// The structures themselves are not synchronized; the storage layer
+// owns locking so that lock scope matches component lifecycles.
+package index
+
+import (
+	"github.com/ideadb/idea/internal/adm"
+)
+
+const btreeDegree = 16 // max 31 items / node, min 15
+
+// Item is one key/value pair stored in a B-tree.
+type Item struct {
+	Key adm.Value
+	Val adm.Value
+}
+
+type btreeNode struct {
+	items    []Item
+	children []*btreeNode // len(children) == len(items)+1, or 0 for leaves
+}
+
+// BTree is an in-memory B-tree over ADM values ordered by adm.Compare.
+// Keys are unique: Put replaces the value of an existing key.
+type BTree struct {
+	root *btreeNode
+	size int
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree { return &BTree{} }
+
+// Len returns the number of stored items.
+func (t *BTree) Len() int { return t.size }
+
+func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+// find locates key in the node's items: returns the index of the first
+// item >= key and whether it is an exact match.
+func (n *btreeNode) find(key adm.Value) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adm.Less(n.items[mid].Key, key) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && adm.Compare(n.items[lo].Key, key) == 0 {
+		return lo, true
+	}
+	return lo, false
+}
+
+const maxItems = 2*btreeDegree - 1
+const minItems = btreeDegree - 1
+
+// Get returns the value stored under key.
+func (t *BTree) Get(key adm.Value) (adm.Value, bool) {
+	n := t.root
+	for n != nil {
+		i, ok := n.find(key)
+		if ok {
+			return n.items[i].Val, true
+		}
+		if n.leaf() {
+			return adm.Value{}, false
+		}
+		n = n.children[i]
+	}
+	return adm.Value{}, false
+}
+
+// Put inserts key/val, replacing any previous value for key. It reports
+// whether an existing item was replaced.
+func (t *BTree) Put(key, val adm.Value) bool {
+	if t.root == nil {
+		t.root = &btreeNode{items: []Item{{key, val}}}
+		t.size = 1
+		return false
+	}
+	if len(t.root.items) >= maxItems {
+		mid, right := t.root.split(maxItems / 2)
+		t.root = &btreeNode{
+			items:    []Item{mid},
+			children: []*btreeNode{t.root, right},
+		}
+	}
+	replaced := t.root.insert(key, val)
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+// split divides the node at item index i, returning the promoted item
+// and the new right sibling.
+func (n *btreeNode) split(i int) (Item, *btreeNode) {
+	mid := n.items[i]
+	right := &btreeNode{}
+	right.items = append(right.items, n.items[i+1:]...)
+	n.items = n.items[:i]
+	if !n.leaf() {
+		right.children = append(right.children, n.children[i+1:]...)
+		n.children = n.children[:i+1]
+	}
+	return mid, right
+}
+
+// insert adds key/val into the subtree rooted at n, which is guaranteed
+// non-full. Reports whether an existing key was replaced.
+func (n *btreeNode) insert(key, val adm.Value) bool {
+	i, found := n.find(key)
+	if found {
+		n.items[i].Val = val
+		return true
+	}
+	if n.leaf() {
+		n.items = append(n.items, Item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = Item{key, val}
+		return false
+	}
+	if len(n.children[i].items) >= maxItems {
+		mid, right := n.children[i].split(maxItems / 2)
+		n.items = append(n.items, Item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = mid
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = right
+		switch c := adm.Compare(key, mid.Key); {
+		case c == 0:
+			n.items[i].Val = val
+			return true
+		case c > 0:
+			i++
+		}
+	}
+	return n.children[i].insert(key, val)
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *BTree) Delete(key adm.Value) bool {
+	if t.root == nil {
+		return false
+	}
+	removed := t.root.remove(key)
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	if removed {
+		t.size--
+		if t.size == 0 {
+			t.root = nil
+		}
+	}
+	return removed
+}
+
+func (n *btreeNode) remove(key adm.Value) bool {
+	i, found := n.find(key)
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if found {
+		// Replace with predecessor (max of left child) then remove it.
+		child := n.growChildIfNeeded(i, key)
+		i, found = n.find(key)
+		if !found {
+			return child.remove(key)
+		}
+		left := n.children[i]
+		pred := left.max()
+		n.items[i] = pred
+		return left.remove(pred.Key) // pred removal never misses
+	}
+	child := n.growChildIfNeeded(i, key)
+	return child.remove(key)
+}
+
+// growChildIfNeeded ensures the child the removal will descend into has
+// more than minItems, borrowing from siblings or merging. It returns the
+// child to descend into (which may have changed due to merging).
+func (n *btreeNode) growChildIfNeeded(i int, key adm.Value) *btreeNode {
+	if i > len(n.items) {
+		i = len(n.items)
+	}
+	child := n.children[i]
+	if len(child.items) > minItems {
+		return child
+	}
+	// Borrow from left sibling.
+	if i > 0 && len(n.children[i-1].items) > minItems {
+		left := n.children[i-1]
+		child.items = append(child.items, Item{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+		return child
+	}
+	// Borrow from right sibling.
+	if i < len(n.items) && len(n.children[i+1].items) > minItems {
+		right := n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		return child
+	}
+	// Merge with a sibling.
+	if i == len(n.items) {
+		i-- // merge into left sibling instead
+		child = n.children[i]
+	}
+	right := n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	child.items = append(child.items, right.items...)
+	child.children = append(child.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	return child
+}
+
+func (n *btreeNode) max() Item {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// Ascend visits every item in key order until fn returns false.
+func (t *BTree) Ascend(fn func(Item) bool) {
+	if t.root != nil {
+		t.root.ascend(adm.Value{}, false, fn)
+	}
+}
+
+// AscendRange visits items with from <= key <= to in order until fn
+// returns false.
+func (t *BTree) AscendRange(from, to adm.Value, fn func(Item) bool) {
+	if t.root == nil {
+		return
+	}
+	t.root.ascend(from, true, func(it Item) bool {
+		if adm.Less(to, it.Key) {
+			return false
+		}
+		return fn(it)
+	})
+}
+
+func (n *btreeNode) ascend(from adm.Value, bounded bool, fn func(Item) bool) bool {
+	start := 0
+	if bounded {
+		start, _ = n.find(from)
+	}
+	if n.leaf() {
+		for _, it := range n.items[start:] {
+			if !fn(it) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := start; i <= len(n.items); i++ {
+		if !n.children[i].ascend(from, bounded && i == start, fn) {
+			return false
+		}
+		if i < len(n.items) {
+			if bounded && i == start && adm.Less(n.items[i].Key, from) {
+				continue
+			}
+			if !fn(n.items[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Min returns the smallest item, if any.
+func (t *BTree) Min() (Item, bool) {
+	if t.root == nil {
+		return Item{}, false
+	}
+	n := t.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0], true
+}
+
+// Max returns the largest item, if any.
+func (t *BTree) Max() (Item, bool) {
+	if t.root == nil {
+		return Item{}, false
+	}
+	return t.root.max(), true
+}
+
+// Items returns all items in key order (a fresh slice).
+func (t *BTree) Items() []Item {
+	out := make([]Item, 0, t.size)
+	t.Ascend(func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,248 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+func TestBTreeBasicPutGet(t *testing.T) {
+	bt := NewBTree()
+	if _, ok := bt.Get(adm.Int(1)); ok {
+		t.Error("empty tree should miss")
+	}
+	if replaced := bt.Put(adm.Int(1), adm.String("one")); replaced {
+		t.Error("fresh Put should not report replacement")
+	}
+	if v, ok := bt.Get(adm.Int(1)); !ok || v.StringVal() != "one" {
+		t.Errorf("Get = %v,%v", v, ok)
+	}
+	if replaced := bt.Put(adm.Int(1), adm.String("uno")); !replaced {
+		t.Error("second Put should replace")
+	}
+	if v, _ := bt.Get(adm.Int(1)); v.StringVal() != "uno" {
+		t.Error("replacement lost")
+	}
+	if bt.Len() != 1 {
+		t.Errorf("Len = %d, want 1", bt.Len())
+	}
+}
+
+func TestBTreeManyKeysOrdered(t *testing.T) {
+	bt := NewBTree()
+	const n = 5000
+	perm := rand.New(rand.NewSource(5)).Perm(n)
+	for _, k := range perm {
+		bt.Put(adm.Int(int64(k)), adm.Int(int64(k*10)))
+	}
+	if bt.Len() != n {
+		t.Fatalf("Len = %d, want %d", bt.Len(), n)
+	}
+	prev := int64(-1)
+	count := 0
+	bt.Ascend(func(it Item) bool {
+		k := it.Key.IntVal()
+		if k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if it.Val.IntVal() != k*10 {
+			t.Fatalf("wrong value for %d", k)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("Ascend visited %d, want %d", count, n)
+	}
+	for i := 0; i < n; i += 37 {
+		if v, ok := bt.Get(adm.Int(int64(i))); !ok || v.IntVal() != int64(i*10) {
+			t.Fatalf("Get(%d) = %v,%v", i, v, ok)
+		}
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := NewBTree()
+	const n = 3000
+	for i := 0; i < n; i++ {
+		bt.Put(adm.Int(int64(i)), adm.Int(int64(i)))
+	}
+	r := rand.New(rand.NewSource(17))
+	alive := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		alive[int64(i)] = true
+	}
+	for _, k := range r.Perm(n)[:n/2] {
+		if !bt.Delete(adm.Int(int64(k))) {
+			t.Fatalf("Delete(%d) missed", k)
+		}
+		delete(alive, int64(k))
+	}
+	if bt.Delete(adm.Int(int64(n + 100))) {
+		t.Error("Delete of absent key should report false")
+	}
+	if bt.Len() != len(alive) {
+		t.Fatalf("Len = %d, want %d", bt.Len(), len(alive))
+	}
+	for k := int64(0); k < n; k++ {
+		_, ok := bt.Get(adm.Int(k))
+		if ok != alive[k] {
+			t.Fatalf("Get(%d) presence = %v, want %v", k, ok, alive[k])
+		}
+	}
+	// Order must survive deletions.
+	prev := int64(-1)
+	bt.Ascend(func(it Item) bool {
+		if it.Key.IntVal() <= prev {
+			t.Fatalf("order violated after deletes")
+		}
+		prev = it.Key.IntVal()
+		return true
+	})
+}
+
+func TestBTreeDeleteAll(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 500; i++ {
+		bt.Put(adm.Int(int64(i)), adm.Null())
+	}
+	for i := 499; i >= 0; i-- {
+		if !bt.Delete(adm.Int(int64(i))) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", bt.Len())
+	}
+	if _, ok := bt.Min(); ok {
+		t.Error("Min on empty tree")
+	}
+	// Tree must be reusable after emptying.
+	bt.Put(adm.Int(1), adm.Null())
+	if bt.Len() != 1 {
+		t.Error("reuse after emptying failed")
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 100; i++ {
+		bt.Put(adm.Int(int64(i*2)), adm.Int(int64(i))) // even keys 0..198
+	}
+	var got []int64
+	bt.AscendRange(adm.Int(10), adm.Int(20), func(it Item) bool {
+		got = append(got, it.Key.IntVal())
+		return true
+	})
+	want := []int64{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+	// Bounds not present in the tree.
+	got = got[:0]
+	bt.AscendRange(adm.Int(11), adm.Int(15), func(it Item) bool {
+		got = append(got, it.Key.IntVal())
+		return true
+	})
+	if len(got) != 2 || got[0] != 12 || got[1] != 14 {
+		t.Fatalf("open range = %v", got)
+	}
+	// Early termination.
+	count := 0
+	bt.AscendRange(adm.Int(0), adm.Int(1000), func(it Item) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestBTreeMinMax(t *testing.T) {
+	bt := NewBTree()
+	for _, k := range []int64{5, 1, 9, 3} {
+		bt.Put(adm.Int(k), adm.Null())
+	}
+	if mn, ok := bt.Min(); !ok || mn.Key.IntVal() != 1 {
+		t.Errorf("Min = %v", mn)
+	}
+	if mx, ok := bt.Max(); !ok || mx.Key.IntVal() != 9 {
+		t.Errorf("Max = %v", mx)
+	}
+}
+
+func TestBTreeStringKeys(t *testing.T) {
+	bt := NewBTree()
+	words := []string{"US", "FR", "DE", "JP", "BR", "IN", "CN"}
+	for i, w := range words {
+		bt.Put(adm.String(w), adm.Int(int64(i)))
+	}
+	if v, ok := bt.Get(adm.String("JP")); !ok || v.IntVal() != 3 {
+		t.Errorf("string key lookup failed: %v %v", v, ok)
+	}
+	items := bt.Items()
+	for i := 1; i < len(items); i++ {
+		if !adm.Less(items[i-1].Key, items[i].Key) {
+			t.Fatal("string keys out of order")
+		}
+	}
+}
+
+// Property test: the tree must agree with a reference map under a random
+// workload of puts, deletes, and gets.
+func TestBTreeMatchesMapModel(t *testing.T) {
+	bt := NewBTree()
+	model := map[int64]int64{}
+	r := rand.New(rand.NewSource(99))
+	for op := 0; op < 20000; op++ {
+		k := r.Int63n(800)
+		switch r.Intn(3) {
+		case 0:
+			v := r.Int63()
+			bt.Put(adm.Int(k), adm.Int(v))
+			model[k] = v
+		case 1:
+			_, inModel := model[k]
+			if bt.Delete(adm.Int(k)) != inModel {
+				t.Fatalf("op %d: delete mismatch for %d", op, k)
+			}
+			delete(model, k)
+		default:
+			v, ok := bt.Get(adm.Int(k))
+			mv, mok := model[k]
+			if ok != mok || (ok && v.IntVal() != mv) {
+				t.Fatalf("op %d: get mismatch for %d", op, k)
+			}
+		}
+		if bt.Len() != len(model) {
+			t.Fatalf("op %d: len mismatch %d vs %d", op, bt.Len(), len(model))
+		}
+	}
+}
+
+func BenchmarkBTreePut(b *testing.B) {
+	bt := NewBTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bt.Put(adm.Int(int64(i)), adm.Int(int64(i)))
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	bt := NewBTree()
+	for i := 0; i < 100000; i++ {
+		bt.Put(adm.Int(int64(i)), adm.Int(int64(i)))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bt.Get(adm.Int(int64(i % 100000)))
+	}
+}

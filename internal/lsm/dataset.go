@@ -1,0 +1,290 @@
+package lsm
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// Dataset is a hash-partitioned collection of records of one datatype,
+// the storage-side object behind CREATE DATASET. Records route to a
+// partition by the hash of their primary key; each partition keeps its
+// own LSM structure and local secondary indexes — the AsterixDB layout.
+type Dataset struct {
+	name       string
+	datatype   *adm.Datatype
+	primaryKey string
+	partitions []*Partition
+
+	mu      sync.RWMutex
+	indexes map[string]indexSpec // index name → builder (one instance per partition)
+}
+
+type indexSpec struct {
+	field        string // indexed field name ("" for custom extractors)
+	perPartition []SecondaryIndex
+}
+
+// NewDataset creates a dataset with the given number of storage
+// partitions (one per storage node in the simulated cluster).
+func NewDataset(name string, dt *adm.Datatype, primaryKey string, numPartitions int, opts Options) (*Dataset, error) {
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("lsm: dataset %s: need at least one partition", name)
+	}
+	if primaryKey == "" {
+		return nil, fmt.Errorf("lsm: dataset %s: primary key required", name)
+	}
+	ds := &Dataset{
+		name:       name,
+		datatype:   dt,
+		primaryKey: primaryKey,
+		partitions: make([]*Partition, numPartitions),
+		indexes:    make(map[string]indexSpec),
+	}
+	for i := range ds.partitions {
+		ds.partitions[i] = NewPartition(opts)
+	}
+	return ds, nil
+}
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.name }
+
+// Datatype returns the declared record type (may be nil for untyped
+// internal datasets).
+func (d *Dataset) Datatype() *adm.Datatype { return d.datatype }
+
+// PrimaryKey returns the primary-key field name.
+func (d *Dataset) PrimaryKey() string { return d.primaryKey }
+
+// NumPartitions returns the partition count.
+func (d *Dataset) NumPartitions() int { return len(d.partitions) }
+
+// Partition returns storage partition i.
+func (d *Dataset) Partition(i int) *Partition { return d.partitions[i] }
+
+// Route returns the partition index that owns the primary key.
+func (d *Dataset) Route(pk adm.Value) int {
+	return int(adm.Hash(pk) % uint64(len(d.partitions)))
+}
+
+// KeyOf extracts the primary key from a record.
+func (d *Dataset) KeyOf(rec adm.Value) (adm.Value, error) {
+	pk := rec.Field(d.primaryKey)
+	if pk.IsUnknown() {
+		return adm.Value{}, fmt.Errorf("lsm: dataset %s: record missing primary key %q", d.name, d.primaryKey)
+	}
+	return pk, nil
+}
+
+// Upsert validates (when typed), routes, and stores the record.
+func (d *Dataset) Upsert(rec adm.Value) error {
+	rec, err := d.prepare(rec)
+	if err != nil {
+		return err
+	}
+	pk, err := d.KeyOf(rec)
+	if err != nil {
+		return err
+	}
+	d.partitions[d.Route(pk)].Upsert(pk, rec)
+	return nil
+}
+
+// Insert is Upsert with duplicate-key rejection.
+func (d *Dataset) Insert(rec adm.Value) error {
+	rec, err := d.prepare(rec)
+	if err != nil {
+		return err
+	}
+	pk, err := d.KeyOf(rec)
+	if err != nil {
+		return err
+	}
+	return d.partitions[d.Route(pk)].Insert(pk, rec)
+}
+
+// Delete removes the record with the given primary key.
+func (d *Dataset) Delete(pk adm.Value) bool {
+	return d.partitions[d.Route(pk)].Delete(pk)
+}
+
+// Get returns the live record with the given primary key.
+func (d *Dataset) Get(pk adm.Value) (adm.Value, bool) {
+	return d.partitions[d.Route(pk)].Get(pk)
+}
+
+func (d *Dataset) prepare(rec adm.Value) (adm.Value, error) {
+	if d.datatype == nil {
+		return rec, nil
+	}
+	return d.datatype.Validate(rec)
+}
+
+// SnapshotAll captures one snapshot per partition (a consistent enough
+// view for a computing-job invocation: record-level consistency, as the
+// paper specifies).
+func (d *Dataset) SnapshotAll() []*Snapshot {
+	snaps := make([]*Snapshot, len(d.partitions))
+	for i, p := range d.partitions {
+		snaps[i] = p.Snapshot()
+	}
+	return snaps
+}
+
+// ScanAll visits every live record across partitions (partition by
+// partition, each in key order) until fn returns false.
+func (d *Dataset) ScanAll(fn func(key, rec adm.Value) bool) {
+	for _, s := range d.SnapshotAll() {
+		stop := false
+		s.Scan(func(k, r adm.Value) bool {
+			if !fn(k, r) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Len counts live records across all partitions.
+func (d *Dataset) Len() int {
+	n := 0
+	for _, p := range d.partitions {
+		n += p.Len()
+	}
+	return n
+}
+
+// CreateSpatialIndex attaches a spatial secondary index over a named
+// point/rectangle/circle field (one local tree per partition), recording
+// the field so the enrichment planner can match predicates to it.
+func (d *Dataset) CreateSpatialIndex(name, field string) error {
+	return d.createRTreeIndex(name, field, FieldRectExtractor(field))
+}
+
+// CreateRTreeIndex attaches a spatial secondary index with a custom
+// extractor (one local tree per partition), back-filling existing
+// records.
+func (d *Dataset) CreateRTreeIndex(name string, extract RectExtractor) error {
+	return d.createRTreeIndex(name, "", extract)
+}
+
+func (d *Dataset) createRTreeIndex(name, field string, extract RectExtractor) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.indexes[name]; dup {
+		return fmt.Errorf("lsm: dataset %s: duplicate index %q", d.name, name)
+	}
+	spec := indexSpec{field: field, perPartition: make([]SecondaryIndex, len(d.partitions))}
+	for i, p := range d.partitions {
+		ix := NewRTreeIndex(name, extract)
+		spec.perPartition[i] = ix
+		p.AttachIndex(ix)
+	}
+	d.indexes[name] = spec
+	return nil
+}
+
+// RTreeIndexForField returns the per-partition spatial indexes declared
+// over the named field, or nil when none exists. The enrichment planner
+// uses this to choose index-NLJ over a per-batch R-tree build.
+func (d *Dataset) RTreeIndexForField(field string) []*RTreeIndex {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for name, spec := range d.indexes {
+		if spec.field == field {
+			if out := d.rtreeLocked(name); out != nil {
+				return out
+			}
+		}
+	}
+	return nil
+}
+
+// CreateBTreeIndex attaches an ordered secondary index (one per
+// partition), back-filling existing records.
+func (d *Dataset) CreateBTreeIndex(name string, extract KeyExtractor) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.indexes[name]; dup {
+		return fmt.Errorf("lsm: dataset %s: duplicate index %q", d.name, name)
+	}
+	spec := indexSpec{perPartition: make([]SecondaryIndex, len(d.partitions))}
+	for i, p := range d.partitions {
+		ix := NewBTreeIndex(name, extract)
+		spec.perPartition[i] = ix
+		p.AttachIndex(ix)
+	}
+	d.indexes[name] = spec
+	return nil
+}
+
+// RTreeIndexes returns the per-partition instances of the named spatial
+// index, or nil when it does not exist (or is not spatial).
+func (d *Dataset) RTreeIndexes(name string) []*RTreeIndex {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	spec, ok := d.indexes[name]
+	if !ok {
+		return nil
+	}
+	out := make([]*RTreeIndex, 0, len(spec.perPartition))
+	for _, ix := range spec.perPartition {
+		rt, isRT := ix.(*RTreeIndex)
+		if !isRT {
+			return nil
+		}
+		out = append(out, rt)
+	}
+	return out
+}
+
+// FirstRTreeIndex returns the per-partition instances of any spatial
+// index on the dataset, preferring one whose extractor was registered
+// for the given field; nil when none exists. The enrichment planner uses
+// it to decide between index-NLJ and per-batch R-tree builds.
+func (d *Dataset) FirstRTreeIndex() []*RTreeIndex {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for name := range d.indexes {
+		if out := d.rtreeLocked(name); out != nil {
+			return out
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) rtreeLocked(name string) []*RTreeIndex {
+	spec := d.indexes[name]
+	out := make([]*RTreeIndex, 0, len(spec.perPartition))
+	for _, ix := range spec.perPartition {
+		rt, isRT := ix.(*RTreeIndex)
+		if !isRT {
+			return nil
+		}
+		out = append(out, rt)
+	}
+	return out
+}
+
+// Stats aggregates partition stats.
+func (d *Dataset) Stats() Stats {
+	var total Stats
+	for _, p := range d.partitions {
+		s := p.Stats()
+		total.Gets += s.Gets
+		total.Scans += s.Scans
+		total.Upserts += s.Upserts
+		total.Deletes += s.Deletes
+		total.Flushes += s.Flushes
+		total.Merges += s.Merges
+		total.Components += s.Components
+		total.MemEntries += s.MemEntries
+	}
+	return total
+}

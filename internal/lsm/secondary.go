@@ -1,0 +1,214 @@
+package lsm
+
+import (
+	"sync"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/index"
+	"github.com/ideadb/idea/internal/spatial"
+)
+
+// SecondaryIndex is a per-partition index maintained synchronously on
+// the write path (AsterixDB's local secondary indexes). The probe
+// surface is type-specific; callers type-assert to *RTreeIndex or
+// *BTreeIndex.
+type SecondaryIndex interface {
+	// Name is the index name from CREATE INDEX.
+	Name() string
+	// Insert adds the (pk, record) entry.
+	Insert(pk, rec adm.Value)
+	// Delete removes the entry previously inserted for (pk, old record).
+	Delete(pk, rec adm.Value)
+}
+
+// RectExtractor derives the indexed bounding rectangle from a record
+// (e.g. the rect of a point field). ok=false skips the record.
+type RectExtractor func(rec adm.Value) (spatial.Rect, bool)
+
+// FieldRectExtractor indexes a top-level spatial field: points index as
+// degenerate rects, rectangles as themselves, circles as their bounds.
+func FieldRectExtractor(field string) RectExtractor {
+	return func(rec adm.Value) (spatial.Rect, bool) {
+		v := rec.Field(field)
+		switch v.Kind() {
+		case adm.KindPoint:
+			x, y := v.PointVal()
+			return spatial.BoundsPoint(spatial.Point{X: x, Y: y}), true
+		case adm.KindRectangle:
+			x1, y1, x2, y2 := v.RectVal()
+			return spatial.NewRect(x1, y1, x2, y2), true
+		case adm.KindCircle:
+			cx, cy, r := v.CircleVal()
+			return spatial.Circle{Center: spatial.Point{X: cx, Y: cy}, R: r}.Bounds(), true
+		}
+		return spatial.Rect{}, false
+	}
+}
+
+// RTreeIndex is a spatial secondary index: rect(record) → primary key.
+// Probes run concurrently with maintenance; an RWMutex arbitrates, which
+// is precisely the contention the paper's update experiment measures on
+// its index-join use case.
+type RTreeIndex struct {
+	name    string
+	extract RectExtractor
+
+	mu   sync.RWMutex
+	tree *index.RTree
+}
+
+// NewRTreeIndex returns an empty spatial index over extract.
+func NewRTreeIndex(name string, extract RectExtractor) *RTreeIndex {
+	return &RTreeIndex{name: name, extract: extract, tree: index.NewRTree()}
+}
+
+// Name implements SecondaryIndex.
+func (ix *RTreeIndex) Name() string { return ix.name }
+
+// Insert implements SecondaryIndex.
+func (ix *RTreeIndex) Insert(pk, rec adm.Value) {
+	rect, ok := ix.extract(rec)
+	if !ok {
+		return
+	}
+	ix.mu.Lock()
+	ix.tree.Insert(rect, pk)
+	ix.mu.Unlock()
+}
+
+// Delete implements SecondaryIndex.
+func (ix *RTreeIndex) Delete(pk, rec adm.Value) {
+	rect, ok := ix.extract(rec)
+	if !ok {
+		return
+	}
+	ix.mu.Lock()
+	ix.tree.Delete(rect, func(d any) bool {
+		v, isVal := d.(adm.Value)
+		return isVal && adm.Equal(v, pk)
+	})
+	ix.mu.Unlock()
+}
+
+// Search returns the primary keys of records whose indexed rect
+// intersects query.
+func (ix *RTreeIndex) Search(query spatial.Rect) []adm.Value {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var pks []adm.Value
+	ix.tree.Search(query, func(e index.RTreeEntry) bool {
+		pks = append(pks, e.Data.(adm.Value))
+		return true
+	})
+	return pks
+}
+
+// Len returns the number of indexed entries.
+func (ix *RTreeIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Len()
+}
+
+// KeyExtractor derives the indexed key from a record. ok=false skips the
+// record (e.g. the field is missing).
+type KeyExtractor func(rec adm.Value) (adm.Value, bool)
+
+// FieldKeyExtractor indexes a top-level field by value.
+func FieldKeyExtractor(field string) KeyExtractor {
+	return func(rec adm.Value) (adm.Value, bool) {
+		v := rec.Field(field)
+		if v.IsUnknown() {
+			return adm.Value{}, false
+		}
+		return v, true
+	}
+}
+
+// BTreeIndex is an ordered secondary index: key(record) → set of primary
+// keys (duplicates allowed across records).
+type BTreeIndex struct {
+	name    string
+	extract KeyExtractor
+
+	mu   sync.RWMutex
+	tree *index.BTree // key → adm array of pks
+}
+
+// NewBTreeIndex returns an empty ordered index over extract.
+func NewBTreeIndex(name string, extract KeyExtractor) *BTreeIndex {
+	return &BTreeIndex{name: name, extract: extract, tree: index.NewBTree()}
+}
+
+// Name implements SecondaryIndex.
+func (ix *BTreeIndex) Name() string { return ix.name }
+
+// Insert implements SecondaryIndex.
+func (ix *BTreeIndex) Insert(pk, rec adm.Value) {
+	key, ok := ix.extract(rec)
+	if !ok {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	cur, _ := ix.tree.Get(key)
+	pks := append(append([]adm.Value(nil), cur.ArrayVal()...), pk)
+	ix.tree.Put(key, adm.Array(pks))
+}
+
+// Delete implements SecondaryIndex.
+func (ix *BTreeIndex) Delete(pk, rec adm.Value) {
+	key, ok := ix.extract(rec)
+	if !ok {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	cur, found := ix.tree.Get(key)
+	if !found {
+		return
+	}
+	elems := cur.ArrayVal()
+	out := make([]adm.Value, 0, len(elems))
+	removed := false
+	for _, e := range elems {
+		if !removed && adm.Equal(e, pk) {
+			removed = true
+			continue
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		ix.tree.Delete(key)
+	} else {
+		ix.tree.Put(key, adm.Array(out))
+	}
+}
+
+// Lookup returns the primary keys indexed under exactly key.
+func (ix *BTreeIndex) Lookup(key adm.Value) []adm.Value {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	v, ok := ix.tree.Get(key)
+	if !ok {
+		return nil
+	}
+	return append([]adm.Value(nil), v.ArrayVal()...)
+}
+
+// LookupRange returns the primary keys with from <= key <= to.
+func (ix *BTreeIndex) LookupRange(from, to adm.Value) []adm.Value {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var pks []adm.Value
+	ix.tree.AscendRange(from, to, func(it index.Item) bool {
+		pks = append(pks, it.Val.ArrayVal()...)
+		return true
+	})
+	return pks
+}
+
+var (
+	_ SecondaryIndex = (*RTreeIndex)(nil)
+	_ SecondaryIndex = (*BTreeIndex)(nil)
+)

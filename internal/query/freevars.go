@@ -1,0 +1,113 @@
+package query
+
+import (
+	"github.com/ideadb/idea/internal/sqlpp"
+)
+
+// FreeVars returns the unbound variable names referenced by an
+// expression, respecting SQL++ scoping (LETs, FROM aliases, and GROUP BY
+// aliases bind names for the clauses that follow them). Dataset names in
+// FROM position are reported as free too; callers subtract the names the
+// catalog can resolve.
+func FreeVars(e sqlpp.Expr) map[string]bool {
+	out := make(map[string]bool)
+	freeVarsExpr(e, nil, out)
+	return out
+}
+
+func freeVarsExpr(e sqlpp.Expr, bound map[string]bool, out map[string]bool) {
+	switch n := e.(type) {
+	case nil:
+		return
+	case *sqlpp.Literal:
+	case *sqlpp.Ident:
+		if !bound[n.Name] {
+			out[n.Name] = true
+		}
+	case *sqlpp.FieldAccess:
+		freeVarsExpr(n.Base, bound, out)
+	case *sqlpp.IndexAccess:
+		freeVarsExpr(n.Base, bound, out)
+		freeVarsExpr(n.Index, bound, out)
+	case *sqlpp.Call:
+		for _, a := range n.Args {
+			freeVarsExpr(a, bound, out)
+		}
+	case *sqlpp.Unary:
+		freeVarsExpr(n.X, bound, out)
+	case *sqlpp.Binary:
+		freeVarsExpr(n.L, bound, out)
+		freeVarsExpr(n.R, bound, out)
+	case *sqlpp.CaseExpr:
+		freeVarsExpr(n.Operand, bound, out)
+		for _, w := range n.Whens {
+			freeVarsExpr(w.When, bound, out)
+			freeVarsExpr(w.Then, bound, out)
+		}
+		freeVarsExpr(n.Else, bound, out)
+	case *sqlpp.Exists:
+		freeVarsSelect(n.Sub, bound, out)
+	case *sqlpp.In:
+		freeVarsExpr(n.X, bound, out)
+		freeVarsExpr(n.Coll, bound, out)
+	case *sqlpp.SubqueryExpr:
+		freeVarsSelect(n.Sel, bound, out)
+	case *sqlpp.ArrayCtor:
+		for _, el := range n.Elems {
+			freeVarsExpr(el, bound, out)
+		}
+	case *sqlpp.ObjectCtor:
+		for _, f := range n.Fields {
+			freeVarsExpr(f.Val, bound, out)
+		}
+	case *sqlpp.SelectExpr:
+		freeVarsSelect(n, bound, out)
+	}
+}
+
+func freeVarsSelect(sel *sqlpp.SelectExpr, bound map[string]bool, out map[string]bool) {
+	local := make(map[string]bool, len(bound)+4)
+	for k := range bound {
+		local[k] = true
+	}
+	for _, l := range sel.Lets {
+		freeVarsExpr(l.Expr, local, out)
+		local[l.Name] = true
+	}
+	for _, fc := range sel.From {
+		freeVarsExpr(fc.Source, local, out)
+		local[fc.Alias] = true
+	}
+	for _, l := range sel.FromLets {
+		freeVarsExpr(l.Expr, local, out)
+		local[l.Name] = true
+	}
+	freeVarsExpr(sel.Where, local, out)
+	for _, gk := range sel.GroupBy {
+		freeVarsExpr(gk.Expr, local, out)
+	}
+	for _, gk := range sel.GroupBy {
+		if gk.Alias != "" {
+			local[gk.Alias] = true
+		}
+	}
+	freeVarsExpr(sel.SelectValue, local, out)
+	for _, p := range sel.Projections {
+		freeVarsExpr(p.Expr, local, out)
+	}
+	for _, ob := range sel.OrderBy {
+		freeVarsExpr(ob.Expr, local, out)
+	}
+	freeVarsExpr(sel.Limit, local, out)
+}
+
+// splitConjuncts flattens an AND chain into its conjuncts.
+func splitConjuncts(e sqlpp.Expr) []sqlpp.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqlpp.Binary); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sqlpp.Expr{e}
+}

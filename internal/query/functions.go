@@ -1,0 +1,374 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/spatial"
+)
+
+// BuiltinFn is the signature of a builtin scalar function.
+type BuiltinFn func(args []adm.Value) (adm.Value, error)
+
+// builtins is the scalar function library covering everything the
+// paper's UDFs call. Names are lower-case; lookups are case-insensitive.
+var builtins = map[string]BuiltinFn{
+	"contains":          fnContains,
+	"lower":             fnLower,
+	"upper":             fnUpper,
+	"length":            fnLength,
+	"abs":               fnAbs,
+	"sqrt":              fnSqrt,
+	"to_string":         fnToString,
+	"edit_distance":     fnEditDistance,
+	"create_point":      fnCreatePoint,
+	"create_circle":     fnCreateCircle,
+	"create_rectangle":  fnCreateRectangle,
+	"spatial_intersect": fnSpatialIntersect,
+	"spatial_distance":  fnSpatialDistance,
+	"duration":          fnDuration,
+	"datetime":          fnDateTime,
+	"get_x":             fnGetX,
+	"get_y":             fnGetY,
+	"array_length":      fnArrayLength,
+}
+
+// LookupBuiltin resolves a builtin by (case-insensitive) name.
+func LookupBuiltin(name string) (BuiltinFn, bool) {
+	fn, ok := builtins[strings.ToLower(name)]
+	return fn, ok
+}
+
+// IsAggregate reports whether the (lower-case) call name is an aggregate
+// handled by the grouping machinery rather than the scalar library.
+func IsAggregate(name string) bool {
+	switch name {
+	case "count", "sum", "avg", "min", "max":
+		return true
+	}
+	return false
+}
+
+func argErr(name string, want int, got int) error {
+	return fmt.Errorf("query: %s expects %d argument(s), got %d", name, want, got)
+}
+
+func fnContains(args []adm.Value) (adm.Value, error) {
+	if len(args) != 2 {
+		return adm.Value{}, argErr("contains", 2, len(args))
+	}
+	if args[0].Kind() != adm.KindString || args[1].Kind() != adm.KindString {
+		return adm.Null(), nil
+	}
+	return adm.Bool(strings.Contains(args[0].StringVal(), args[1].StringVal())), nil
+}
+
+func fnLower(args []adm.Value) (adm.Value, error) {
+	if len(args) != 1 {
+		return adm.Value{}, argErr("lower", 1, len(args))
+	}
+	if args[0].Kind() != adm.KindString {
+		return adm.Null(), nil
+	}
+	return adm.String(strings.ToLower(args[0].StringVal())), nil
+}
+
+func fnUpper(args []adm.Value) (adm.Value, error) {
+	if len(args) != 1 {
+		return adm.Value{}, argErr("upper", 1, len(args))
+	}
+	if args[0].Kind() != adm.KindString {
+		return adm.Null(), nil
+	}
+	return adm.String(strings.ToUpper(args[0].StringVal())), nil
+}
+
+func fnLength(args []adm.Value) (adm.Value, error) {
+	if len(args) != 1 {
+		return adm.Value{}, argErr("length", 1, len(args))
+	}
+	if args[0].Kind() != adm.KindString {
+		return adm.Null(), nil
+	}
+	return adm.Int(int64(len(args[0].StringVal()))), nil
+}
+
+func fnArrayLength(args []adm.Value) (adm.Value, error) {
+	if len(args) != 1 {
+		return adm.Value{}, argErr("array_length", 1, len(args))
+	}
+	if args[0].Kind() != adm.KindArray {
+		return adm.Null(), nil
+	}
+	return adm.Int(int64(len(args[0].ArrayVal()))), nil
+}
+
+func fnAbs(args []adm.Value) (adm.Value, error) {
+	if len(args) != 1 {
+		return adm.Value{}, argErr("abs", 1, len(args))
+	}
+	switch args[0].Kind() {
+	case adm.KindInt64:
+		v := args[0].IntVal()
+		if v < 0 {
+			v = -v
+		}
+		return adm.Int(v), nil
+	case adm.KindDouble:
+		return adm.Double(math.Abs(args[0].DoubleVal())), nil
+	}
+	return adm.Null(), nil
+}
+
+func fnSqrt(args []adm.Value) (adm.Value, error) {
+	if len(args) != 1 {
+		return adm.Value{}, argErr("sqrt", 1, len(args))
+	}
+	f, ok := args[0].AsDouble()
+	if !ok {
+		return adm.Null(), nil
+	}
+	return adm.Double(math.Sqrt(f)), nil
+}
+
+func fnToString(args []adm.Value) (adm.Value, error) {
+	if len(args) != 1 {
+		return adm.Value{}, argErr("to_string", 1, len(args))
+	}
+	if args[0].Kind() == adm.KindString {
+		return args[0], nil
+	}
+	return adm.String(args[0].String()), nil
+}
+
+// fnEditDistance computes Levenshtein distance with the two-row DP.
+func fnEditDistance(args []adm.Value) (adm.Value, error) {
+	if len(args) != 2 {
+		return adm.Value{}, argErr("edit_distance", 2, len(args))
+	}
+	if args[0].Kind() != adm.KindString || args[1].Kind() != adm.KindString {
+		return adm.Null(), nil
+	}
+	return adm.Int(int64(EditDistance(args[0].StringVal(), args[1].StringVal()))), nil
+}
+
+// EditDistance returns the Levenshtein distance between two strings
+// (byte-wise, which matches the ASCII workload).
+func EditDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func minInt(vals ...int) int {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func fnCreatePoint(args []adm.Value) (adm.Value, error) {
+	if len(args) != 2 {
+		return adm.Value{}, argErr("create_point", 2, len(args))
+	}
+	x, okx := args[0].AsDouble()
+	y, oky := args[1].AsDouble()
+	if !okx || !oky {
+		return adm.Null(), nil
+	}
+	return adm.Point(x, y), nil
+}
+
+func fnCreateCircle(args []adm.Value) (adm.Value, error) {
+	if len(args) != 2 {
+		return adm.Value{}, argErr("create_circle", 2, len(args))
+	}
+	if args[0].Kind() != adm.KindPoint {
+		return adm.Null(), nil
+	}
+	r, ok := args[1].AsDouble()
+	if !ok {
+		return adm.Null(), nil
+	}
+	cx, cy := args[0].PointVal()
+	return adm.Circle(cx, cy, r), nil
+}
+
+func fnCreateRectangle(args []adm.Value) (adm.Value, error) {
+	if len(args) != 2 {
+		return adm.Value{}, argErr("create_rectangle", 2, len(args))
+	}
+	if args[0].Kind() != adm.KindPoint || args[1].Kind() != adm.KindPoint {
+		return adm.Null(), nil
+	}
+	x1, y1 := args[0].PointVal()
+	x2, y2 := args[1].PointVal()
+	return adm.Rectangle(x1, y1, x2, y2), nil
+}
+
+// GeometryBounds returns the bounding rectangle of a spatial value.
+func GeometryBounds(v adm.Value) (spatial.Rect, bool) {
+	switch v.Kind() {
+	case adm.KindPoint:
+		x, y := v.PointVal()
+		return spatial.BoundsPoint(spatial.Point{X: x, Y: y}), true
+	case adm.KindRectangle:
+		x1, y1, x2, y2 := v.RectVal()
+		return spatial.NewRect(x1, y1, x2, y2), true
+	case adm.KindCircle:
+		cx, cy, r := v.CircleVal()
+		return spatial.Circle{Center: spatial.Point{X: cx, Y: cy}, R: r}.Bounds(), true
+	}
+	return spatial.Rect{}, false
+}
+
+// SpatialIntersects is the exact pairwise intersection test across all
+// geometry kind combinations.
+func SpatialIntersects(a, b adm.Value) (bool, bool) {
+	ka, kb := a.Kind(), b.Kind()
+	if !ka.IsSpatial() || !kb.IsSpatial() {
+		return false, false
+	}
+	// Normalize so ka <= kb in the order point < rectangle < circle.
+	rank := func(k adm.Kind) int {
+		switch k {
+		case adm.KindPoint:
+			return 0
+		case adm.KindRectangle:
+			return 1
+		default:
+			return 2
+		}
+	}
+	if rank(ka) > rank(kb) {
+		a, b = b, a
+		ka, kb = kb, ka
+	}
+	switch {
+	case ka == adm.KindPoint && kb == adm.KindPoint:
+		ax, ay := a.PointVal()
+		bx, by := b.PointVal()
+		return ax == bx && ay == by, true
+	case ka == adm.KindPoint && kb == adm.KindRectangle:
+		x, y := a.PointVal()
+		x1, y1, x2, y2 := b.RectVal()
+		return spatial.NewRect(x1, y1, x2, y2).Contains(spatial.Point{X: x, Y: y}), true
+	case ka == adm.KindPoint && kb == adm.KindCircle:
+		x, y := a.PointVal()
+		cx, cy, r := b.CircleVal()
+		return spatial.Circle{Center: spatial.Point{X: cx, Y: cy}, R: r}.
+			ContainsPoint(spatial.Point{X: x, Y: y}), true
+	case ka == adm.KindRectangle && kb == adm.KindRectangle:
+		a1, a2, a3, a4 := a.RectVal()
+		b1, b2, b3, b4 := b.RectVal()
+		return spatial.NewRect(a1, a2, a3, a4).Intersects(spatial.NewRect(b1, b2, b3, b4)), true
+	case ka == adm.KindRectangle && kb == adm.KindCircle:
+		x1, y1, x2, y2 := a.RectVal()
+		cx, cy, r := b.CircleVal()
+		return spatial.Circle{Center: spatial.Point{X: cx, Y: cy}, R: r}.
+			IntersectsRect(spatial.NewRect(x1, y1, x2, y2)), true
+	default: // circle-circle
+		a1, a2, ar := a.CircleVal()
+		b1, b2, br := b.CircleVal()
+		return spatial.Circle{Center: spatial.Point{X: a1, Y: a2}, R: ar}.
+			IntersectsCircle(spatial.Circle{Center: spatial.Point{X: b1, Y: b2}, R: br}), true
+	}
+}
+
+func fnSpatialIntersect(args []adm.Value) (adm.Value, error) {
+	if len(args) != 2 {
+		return adm.Value{}, argErr("spatial_intersect", 2, len(args))
+	}
+	ok, valid := SpatialIntersects(args[0], args[1])
+	if !valid {
+		return adm.Null(), nil
+	}
+	return adm.Bool(ok), nil
+}
+
+func fnSpatialDistance(args []adm.Value) (adm.Value, error) {
+	if len(args) != 2 {
+		return adm.Value{}, argErr("spatial_distance", 2, len(args))
+	}
+	if args[0].Kind() != adm.KindPoint || args[1].Kind() != adm.KindPoint {
+		return adm.Null(), nil
+	}
+	ax, ay := args[0].PointVal()
+	bx, by := args[1].PointVal()
+	return adm.Double(spatial.Dist(spatial.Point{X: ax, Y: ay}, spatial.Point{X: bx, Y: by})), nil
+}
+
+func fnDuration(args []adm.Value) (adm.Value, error) {
+	if len(args) != 1 {
+		return adm.Value{}, argErr("duration", 1, len(args))
+	}
+	if args[0].Kind() != adm.KindString {
+		return adm.Null(), nil
+	}
+	months, millis, ok := adm.ParseISODuration(args[0].StringVal())
+	if !ok {
+		return adm.Value{}, fmt.Errorf("query: invalid duration literal %q", args[0].StringVal())
+	}
+	return adm.Duration(months, millis), nil
+}
+
+func fnDateTime(args []adm.Value) (adm.Value, error) {
+	if len(args) != 1 {
+		return adm.Value{}, argErr("datetime", 1, len(args))
+	}
+	if args[0].Kind() != adm.KindString {
+		return adm.Null(), nil
+	}
+	ms, ok := adm.ParseISODateTime(args[0].StringVal())
+	if !ok {
+		return adm.Value{}, fmt.Errorf("query: invalid datetime literal %q", args[0].StringVal())
+	}
+	return adm.DateTimeMillis(ms), nil
+}
+
+func fnGetX(args []adm.Value) (adm.Value, error) {
+	if len(args) != 1 {
+		return adm.Value{}, argErr("get_x", 1, len(args))
+	}
+	if args[0].Kind() != adm.KindPoint {
+		return adm.Null(), nil
+	}
+	x, _ := args[0].PointVal()
+	return adm.Double(x), nil
+}
+
+func fnGetY(args []adm.Value) (adm.Value, error) {
+	if len(args) != 1 {
+		return adm.Value{}, argErr("get_y", 1, len(args))
+	}
+	if args[0].Kind() != adm.KindPoint {
+		return adm.Null(), nil
+	}
+	_, y := args[0].PointVal()
+	return adm.Double(y), nil
+}

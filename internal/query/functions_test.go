@@ -1,0 +1,99 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// Edit distance is a metric: these properties catch off-by-one DP bugs
+// that example-based tests miss.
+func TestEditDistanceMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	randStr := func() string {
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(4)) // small alphabet → collisions
+		}
+		return string(b)
+	}
+	for i := 0; i < 3000; i++ {
+		a, b, c := randStr(), randStr(), randStr()
+		dab := EditDistance(a, b)
+		dba := EditDistance(b, a)
+		if dab != dba {
+			t.Fatalf("symmetry violated: d(%q,%q)=%d, d(%q,%q)=%d", a, b, dab, b, a, dba)
+		}
+		if (dab == 0) != (a == b) {
+			t.Fatalf("identity violated for %q, %q: %d", a, b, dab)
+		}
+		dac, dcb := EditDistance(a, c), EditDistance(c, b)
+		if dab > dac+dcb {
+			t.Fatalf("triangle inequality violated: d(%q,%q)=%d > %d+%d via %q",
+				a, b, dab, dac, dcb, c)
+		}
+		// Distance is bounded by the longer string.
+		bound := len(a)
+		if len(b) > bound {
+			bound = len(b)
+		}
+		if dab > bound {
+			t.Fatalf("d(%q,%q)=%d exceeds max length %d", a, b, dab, bound)
+		}
+	}
+}
+
+func TestEditDistanceKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "abc", 3},
+		{"kitten", "sitting", 3}, {"flaw", "lawn", 2},
+		{"abc", "abc", 0}, {"abc", "axc", 1},
+	}
+	for _, tc := range cases {
+		if got := EditDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// One insertion/deletion/substitution changes the distance by at most 1.
+func TestEditDistanceSingleEditQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		n := 1 + r.Intn(10)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte('a' + r.Intn(5))
+		}
+		orig := string(b)
+		pos := r.Intn(n)
+		mutated := orig[:pos] + string(rune('a'+r.Intn(5))) + orig[pos+1:]
+		if d := EditDistance(orig, mutated); d > 1 {
+			t.Fatalf("single substitution of %q -> %q gave distance %d", orig, mutated, d)
+		}
+	}
+}
+
+func TestSpatialIntersectsInvalidKinds(t *testing.T) {
+	if _, ok := SpatialIntersects(adm.Int(1), adm.Point(0, 0)); ok {
+		t.Error("non-spatial operand should be invalid")
+	}
+	if ok, valid := SpatialIntersects(adm.Circle(0, 0, 1), adm.Point(0.5, 0.5)); !valid || !ok {
+		t.Error("circle/point order should work both ways")
+	}
+}
+
+func TestGeometryBounds(t *testing.T) {
+	if _, ok := GeometryBounds(adm.String("x")); ok {
+		t.Error("non-geometry has no bounds")
+	}
+	r, ok := GeometryBounds(adm.Circle(1, 1, 2))
+	if !ok || r.Min.X != -1 || r.Max.Y != 3 {
+		t.Errorf("circle bounds = %+v", r)
+	}
+}

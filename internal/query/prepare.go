@@ -1,0 +1,410 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/index"
+	"github.com/ideadb/idea/internal/lsm"
+	"github.com/ideadb/idea/internal/sqlpp"
+)
+
+// PreparedEnrich is the batch-scoped state of an enrichment plan: the
+// paper's "intermediate states". One is built per computing-job
+// invocation (Prepare), used concurrently by every evaluator in the job
+// (EvalRecord is safe for parallel use), and discarded with the job — so
+// the next invocation observes reference-data updates.
+type PreparedEnrich struct {
+	plan   *EnrichPlan
+	ctx    *Context
+	consts map[*sqlpp.SelectExpr]adm.Value
+	probes map[*sqlpp.SelectExpr]*preparedSub
+}
+
+type preparedSub struct {
+	plan     *subPlan
+	accesses []*preparedAccess
+}
+
+type hashEntry struct {
+	key adm.Value
+	rec adm.Value
+}
+
+type preparedAccess struct {
+	plan *accessPlan
+
+	hash map[uint64][]hashEntry // accessHash
+
+	rtrees []*index.RTree // accessRTree, sharded per partition
+
+	shards [][]adm.Value // accessScan
+
+	liveIndexes []*lsm.RTreeIndex // accessIndexNLJ
+	liveDataset *lsm.Dataset      // accessIndexNLJ (fresh point reads)
+}
+
+// Prepare builds the batch state from fresh snapshots, parallelizing the
+// reference scans across partitions (the cluster's computing job runs
+// one build worker per node). It is the per-invocation cost the paper's
+// batch-size experiments measure.
+func (plan *EnrichPlan) Prepare(cat Catalog) (*PreparedEnrich, error) {
+	pe := &PreparedEnrich{
+		plan:   plan,
+		ctx:    NewContext(cat),
+		consts: make(map[*sqlpp.SelectExpr]adm.Value),
+		probes: make(map[*sqlpp.SelectExpr]*preparedSub),
+	}
+	for _, sel := range plan.order {
+		sp := plan.subs[sel]
+		switch sp.kind {
+		case constSub:
+			v, err := ExecuteSelect(pe.ctx, nil, sel)
+			if err != nil {
+				return nil, fmt.Errorf("query: %s: const subquery: %w", plan.Name, err)
+			}
+			pe.consts[sel] = v
+		case probeSub:
+			ps := &preparedSub{plan: sp}
+			for i := range sp.accesses {
+				pa, err := pe.buildAccess(&sp.accesses[i])
+				if err != nil {
+					return nil, fmt.Errorf("query: %s: build %s: %w", plan.Name, sp.accesses[i].dataset, err)
+				}
+				ps.accesses = append(ps.accesses, pa)
+			}
+			pe.probes[sel] = ps
+		}
+	}
+	return pe, nil
+}
+
+func (pe *PreparedEnrich) buildAccess(acc *accessPlan) (*preparedAccess, error) {
+	pa := &preparedAccess{plan: acc}
+	if acc.kind == accessIndexNLJ {
+		ds, err := datasetFor(pe.ctx.Catalog, acc.dataset)
+		if err != nil {
+			return nil, err
+		}
+		idx := ds.RTreeIndexForField(acc.indexField)
+		if idx == nil {
+			return nil, fmt.Errorf("index on %s.%s vanished", acc.dataset, acc.indexField)
+		}
+		pa.liveIndexes = idx
+		pa.liveDataset = ds
+		return pa, nil
+	}
+
+	snaps, err := pe.ctx.Pin(acc.dataset)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scan partitions in parallel; each worker produces its shard.
+	type shardResult struct {
+		entries []hashEntry  // accessHash
+		tree    *index.RTree // accessRTree
+		recs    []adm.Value  // accessScan
+		err     error
+	}
+	results := make([]shardResult, len(snaps))
+	var wg sync.WaitGroup
+	for i, snap := range snaps {
+		wg.Add(1)
+		go func(i int, snap *lsm.Snapshot) {
+			defer wg.Done()
+			res := &results[i]
+			if acc.kind == accessRTree {
+				res.tree = index.NewRTree()
+			}
+			st := evalState{ctx: pe.ctx}
+			snap.Scan(func(_, rec adm.Value) bool {
+				env := Bind(nil, acc.alias, rec)
+				for _, f := range acc.filters {
+					v, err := eval(st, env, f)
+					if err != nil {
+						res.err = err
+						return false
+					}
+					if !Truthy(v) {
+						return true
+					}
+				}
+				switch acc.kind {
+				case accessHash:
+					key, err := eval(st, env, acc.buildKey)
+					if err != nil {
+						res.err = err
+						return false
+					}
+					if key.IsUnknown() {
+						return true
+					}
+					res.entries = append(res.entries, hashEntry{key: key, rec: rec})
+				case accessRTree:
+					g, err := eval(st, env, acc.buildRect)
+					if err != nil {
+						res.err = err
+						return false
+					}
+					rect, ok := GeometryBounds(g)
+					if !ok {
+						return true
+					}
+					res.tree.Insert(rect, rec)
+				default: // accessScan
+					res.recs = append(res.recs, rec)
+				}
+				return true
+			})
+		}(i, snap)
+	}
+	wg.Wait()
+
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+	}
+	switch acc.kind {
+	case accessHash:
+		total := 0
+		for i := range results {
+			total += len(results[i].entries)
+		}
+		pa.hash = make(map[uint64][]hashEntry, total)
+		for i := range results {
+			for _, e := range results[i].entries {
+				h := adm.Hash(e.key)
+				pa.hash[h] = append(pa.hash[h], e)
+			}
+		}
+	case accessRTree:
+		pa.rtrees = make([]*index.RTree, len(results))
+		for i := range results {
+			pa.rtrees[i] = results[i].tree
+		}
+	default:
+		pa.shards = make([][]adm.Value, len(results))
+		for i := range results {
+			pa.shards[i] = results[i].recs
+		}
+	}
+	return pa, nil
+}
+
+// EvalRecord enriches one record: the probe phase. A single-element
+// result collection is unwrapped to the record itself, which is what the
+// feed pipeline stores.
+func (pe *PreparedEnrich) EvalRecord(rec adm.Value) (adm.Value, error) {
+	st := evalState{ctx: pe.ctx, prepared: pe}
+	env := Bind(nil, pe.plan.param, rec)
+	v, err := eval(st, env, pe.plan.body)
+	if err != nil {
+		return adm.Value{}, err
+	}
+	if v.Kind() == adm.KindArray && len(v.ArrayVal()) == 1 {
+		return v.Index(0), nil
+	}
+	return v, nil
+}
+
+// Context exposes the pinned evaluation context (tests inspect it).
+func (pe *PreparedEnrich) Context() *Context { return pe.ctx }
+
+// evalCompiled intercepts a compiled subquery during expression
+// evaluation. ok=false means the subquery was not compiled and the
+// caller should use the generic path.
+func (pe *PreparedEnrich) evalCompiled(st evalState, env *Env, sel *sqlpp.SelectExpr) (adm.Value, bool, error) {
+	if v, isConst := pe.consts[sel]; isConst {
+		return v, true, nil
+	}
+	ps, isProbe := pe.probes[sel]
+	if !isProbe {
+		return adm.Value{}, false, nil
+	}
+	var tuples []*Env
+	err := ps.forEachTuple(st, env, func(tu *Env) bool {
+		tuples = append(tuples, tu)
+		return true
+	})
+	if err != nil {
+		return adm.Value{}, true, err
+	}
+	v, err := finishSelect(st.noGroup(), sel, tuples)
+	return v, true, err
+}
+
+// evalCompiledExists intercepts EXISTS over a compiled subquery with
+// early termination at the first qualifying tuple.
+func (pe *PreparedEnrich) evalCompiledExists(st evalState, env *Env, sel *sqlpp.SelectExpr) (bool, bool, error) {
+	if v, isConst := pe.consts[sel]; isConst {
+		return len(v.ArrayVal()) > 0, true, nil
+	}
+	ps, isProbe := pe.probes[sel]
+	if !isProbe {
+		return false, false, nil
+	}
+	found := false
+	err := ps.forEachTuple(st, env, func(*Env) bool {
+		found = true
+		return false
+	})
+	return found, true, err
+}
+
+// forEachTuple streams candidate tuples: anchor probe, join expansion,
+// FROM-LET binding, then residual filtering. fn returning false stops
+// the enumeration (EXISTS early-out).
+func (ps *preparedSub) forEachTuple(st evalState, env *Env, fn func(*Env) bool) error {
+	st = st.noGroup()
+	var expand func(level int, tu *Env) (bool, error)
+	expand = func(level int, tu *Env) (bool, error) {
+		if level == len(ps.accesses) {
+			for _, l := range ps.plan.sel.FromLets {
+				v, err := eval(st, tu, l.Expr)
+				if err != nil {
+					return false, err
+				}
+				tu = Bind(tu, l.Name, v)
+			}
+			for _, r := range ps.plan.residuals {
+				v, err := eval(st, tu, r)
+				if err != nil {
+					return false, err
+				}
+				if !Truthy(v) {
+					return true, nil
+				}
+			}
+			return fn(tu), nil
+		}
+		pa := ps.accesses[level]
+		cont := true
+		var inner error
+		err := pa.probe(st, tu, func(rec adm.Value) bool {
+			keepGoing, perr := expand(level+1, Bind(tu, pa.plan.alias, rec))
+			if perr != nil {
+				inner = perr
+				cont = false
+				return false
+			}
+			if !keepGoing {
+				cont = false
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return false, err
+		}
+		if inner != nil {
+			return false, inner
+		}
+		return cont, nil
+	}
+	_, err := expand(0, env)
+	return err
+}
+
+// probe enumerates the records this access yields for the current outer
+// bindings.
+func (pa *preparedAccess) probe(st evalState, env *Env, fn func(adm.Value) bool) error {
+	acc := pa.plan
+	switch acc.kind {
+	case accessHash:
+		key, err := eval(st, env, acc.probeKey)
+		if err != nil {
+			return err
+		}
+		if key.IsUnknown() {
+			return nil
+		}
+		for _, e := range pa.hash[adm.Hash(key)] {
+			if adm.Equal(e.key, key) {
+				if !fn(e.rec) {
+					return nil
+				}
+			}
+		}
+	case accessRTree:
+		g, err := eval(st, env, acc.probeRect)
+		if err != nil {
+			return err
+		}
+		rect, ok := GeometryBounds(g)
+		if !ok {
+			return nil
+		}
+		for _, tree := range pa.rtrees {
+			stopped := false
+			tree.Search(rect, func(e index.RTreeEntry) bool {
+				if !fn(e.Data.(adm.Value)) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				return nil
+			}
+		}
+	case accessIndexNLJ:
+		g, err := eval(st, env, acc.probeRect)
+		if err != nil {
+			return err
+		}
+		rect, ok := GeometryBounds(g)
+		if !ok {
+			return nil
+		}
+		if acc.expand > 0 {
+			rect = rect.Expand(acc.expand)
+		}
+		for _, ix := range pa.liveIndexes {
+			for _, pk := range ix.Search(rect) {
+				rec, found := pa.liveDataset.Get(pk) // fresh read, per paper
+				if !found {
+					continue
+				}
+				if keep, err := pa.passesFilters(st, rec); err != nil {
+					return err
+				} else if !keep {
+					continue
+				}
+				if !fn(rec) {
+					return nil
+				}
+			}
+		}
+	default: // accessScan
+		for _, shard := range pa.shards {
+			for _, rec := range shard {
+				if !fn(rec) {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// passesFilters applies alias-only filters at probe time (index-NLJ
+// cannot pre-filter its index).
+func (pa *preparedAccess) passesFilters(st evalState, rec adm.Value) (bool, error) {
+	if len(pa.plan.filters) == 0 {
+		return true, nil
+	}
+	env := Bind(nil, pa.plan.alias, rec)
+	for _, f := range pa.plan.filters {
+		v, err := eval(st, env, f)
+		if err != nil {
+			return false, err
+		}
+		if !Truthy(v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,130 @@
+// Package spatial implements the planar geometry the paper's enrichment
+// functions rely on: point/rectangle/circle intersection tests, point
+// distance, and bounding boxes. Coordinates are degrees treated as a
+// flat plane, matching AsterixDB's spatial_intersect semantics ("within
+// 1.5 degrees of the tweet's location").
+package spatial
+
+import "math"
+
+// Point is a location on the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Rect is an axis-aligned rectangle with normalized corners
+// (Min.X <= Max.X, Min.Y <= Max.Y).
+type Rect struct {
+	Min, Max Point
+}
+
+// Circle is a center point plus radius.
+type Circle struct {
+	Center Point
+	R      float64
+}
+
+// NewRect builds a rectangle from two arbitrary corners, normalizing
+// them.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	if y1 > y2 {
+		y1, y2 = y2, y1
+	}
+	return Rect{Min: Point{x1, y1}, Max: Point{x2, y2}}
+}
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// DistSq returns the squared Euclidean distance (cheaper for ordering).
+func DistSq(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// Contains reports whether the rectangle contains the point (boundary
+// inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Intersects reports whether two rectangles overlap (boundary touching
+// counts).
+func (r Rect) Intersects(o Rect) bool {
+	return r.Min.X <= o.Max.X && o.Min.X <= r.Max.X &&
+		r.Min.Y <= o.Max.Y && o.Min.Y <= r.Max.Y
+}
+
+// Union returns the smallest rectangle covering both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, o.Min.X), math.Min(r.Min.Y, o.Min.Y)},
+		Max: Point{math.Max(r.Max.X, o.Max.X), math.Max(r.Max.Y, o.Max.Y)},
+	}
+}
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 {
+	return (r.Max.X - r.Min.X) * (r.Max.Y - r.Min.Y)
+}
+
+// Enlargement returns how much r's area would grow to also cover o.
+func (r Rect) Enlargement(o Rect) float64 {
+	return r.Union(o).Area() - r.Area()
+}
+
+// BoundsPoint returns the degenerate rectangle covering a single point.
+func BoundsPoint(p Point) Rect { return Rect{Min: p, Max: p} }
+
+// Expand grows the rectangle by d on every side (the index-NLJ query
+// expansion for circle-of-field predicates).
+func (r Rect) Expand(d float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+}
+
+// Bounds returns the bounding box of the circle.
+func (c Circle) Bounds() Rect {
+	return Rect{
+		Min: Point{c.Center.X - c.R, c.Center.Y - c.R},
+		Max: Point{c.Center.X + c.R, c.Center.Y + c.R},
+	}
+}
+
+// ContainsPoint reports whether the point lies within the circle
+// (boundary inclusive).
+func (c Circle) ContainsPoint(p Point) bool {
+	return DistSq(c.Center, p) <= c.R*c.R
+}
+
+// IntersectsRect reports whether the circle and rectangle overlap, using
+// the closest-point test.
+func (c Circle) IntersectsRect(r Rect) bool {
+	cx := clamp(c.Center.X, r.Min.X, r.Max.X)
+	cy := clamp(c.Center.Y, r.Min.Y, r.Max.Y)
+	return DistSq(c.Center, Point{cx, cy}) <= c.R*c.R
+}
+
+// IntersectsCircle reports whether two circles overlap.
+func (c Circle) IntersectsCircle(o Circle) bool {
+	rr := c.R + o.R
+	return DistSq(c.Center, o.Center) <= rr*rr
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

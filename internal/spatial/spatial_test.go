@@ -1,0 +1,166 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	if d := Dist(Point{0, 0}, Point{3, 4}); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := DistSq(Point{1, 1}, Point{1, 1}); d != 0 {
+		t.Errorf("DistSq same point = %v", d)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(5, 6, 1, 2)
+	if r.Min.X != 1 || r.Min.Y != 2 || r.Max.X != 5 || r.Max.Y != 6 {
+		t.Errorf("NewRect normalize failed: %+v", r)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	for _, p := range []Point{{0, 0}, {10, 10}, {5, 5}, {0, 10}} {
+		if !r.Contains(p) {
+			t.Errorf("rect should contain %+v", p)
+		}
+	}
+	for _, p := range []Point{{-0.1, 5}, {10.1, 5}, {5, -1}, {5, 11}} {
+		if r.Contains(p) {
+			t.Errorf("rect should not contain %+v", p)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{NewRect(5, 5, 15, 15), true},
+		{NewRect(10, 10, 20, 20), true}, // boundary touch
+		{NewRect(11, 11, 20, 20), false},
+		{NewRect(-5, -5, -1, -1), false},
+		{NewRect(2, 2, 3, 3), true}, // contained
+		{NewRect(-5, 2, 15, 3), true},
+	}
+	for _, tc := range cases {
+		if got := a.Intersects(tc.b); got != tc.want {
+			t.Errorf("Intersects(%+v) = %v, want %v", tc.b, got, tc.want)
+		}
+		if got := tc.b.Intersects(a); got != tc.want {
+			t.Errorf("Intersects should be symmetric for %+v", tc.b)
+		}
+	}
+}
+
+func TestUnionAndArea(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(3, 3, 5, 4)
+	u := a.Union(b)
+	if u != NewRect(0, 0, 5, 4) {
+		t.Errorf("Union = %+v", u)
+	}
+	if a.Area() != 4 {
+		t.Errorf("Area = %v", a.Area())
+	}
+	if e := a.Enlargement(b); e != 20-4 {
+		t.Errorf("Enlargement = %v, want 16", e)
+	}
+	if a.Enlargement(NewRect(1, 1, 2, 2)) != 0 {
+		t.Error("contained rect should not enlarge")
+	}
+}
+
+func TestCircleContainsPoint(t *testing.T) {
+	c := Circle{Center: Point{0, 0}, R: 1.5}
+	if !c.ContainsPoint(Point{1.5, 0}) {
+		t.Error("boundary point should be inside")
+	}
+	if !c.ContainsPoint(Point{1, 1}) {
+		t.Error("(1,1) is within radius 1.5")
+	}
+	if c.ContainsPoint(Point{1.2, 1.2}) {
+		t.Error("(1.2,1.2) is outside radius 1.5")
+	}
+}
+
+func TestCircleIntersectsRect(t *testing.T) {
+	c := Circle{Center: Point{0, 0}, R: 1}
+	cases := []struct {
+		r    Rect
+		want bool
+	}{
+		{NewRect(-0.5, -0.5, 0.5, 0.5), true}, // circle covers rect center
+		{NewRect(0.9, -10, 5, 10), true},      // edge overlap
+		{NewRect(1.1, 1.1, 2, 2), false},      // corner just outside
+		{NewRect(0.7, 0.7, 2, 2), true},       // corner just inside (dist ~0.99)
+		{NewRect(-10, -10, 10, 10), true},     // rect covers circle
+		{NewRect(2, 2, 3, 3), false},
+	}
+	for _, tc := range cases {
+		if got := c.IntersectsRect(tc.r); got != tc.want {
+			t.Errorf("IntersectsRect(%+v) = %v, want %v", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestCircleIntersectsCircle(t *testing.T) {
+	a := Circle{Center: Point{0, 0}, R: 1}
+	if !a.IntersectsCircle(Circle{Center: Point{2, 0}, R: 1}) {
+		t.Error("touching circles intersect")
+	}
+	if a.IntersectsCircle(Circle{Center: Point{2.01, 0}, R: 1}) {
+		t.Error("separated circles do not intersect")
+	}
+}
+
+func TestCircleBounds(t *testing.T) {
+	c := Circle{Center: Point{1, 2}, R: 3}
+	if got := c.Bounds(); got != NewRect(-2, -1, 4, 5) {
+		t.Errorf("Bounds = %+v", got)
+	}
+}
+
+// Property: circle-rect intersection must agree with a dense point
+// sample of the rectangle.
+func TestCircleRectIntersectionProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 2000; i++ {
+		c := Circle{Center: Point{r.Float64()*10 - 5, r.Float64()*10 - 5}, R: r.Float64()*3 + 0.01}
+		rect := NewRect(r.Float64()*10-5, r.Float64()*10-5, r.Float64()*10-5, r.Float64()*10-5)
+		got := c.IntersectsRect(rect)
+		// Sample: check the clamped closest point directly.
+		closest := Point{clamp(c.Center.X, rect.Min.X, rect.Max.X), clamp(c.Center.Y, rect.Min.Y, rect.Max.Y)}
+		want := c.ContainsPoint(closest)
+		if got != want {
+			t.Fatalf("mismatch: circle %+v rect %+v got %v want %v", c, rect, got, want)
+		}
+		if got && !c.Bounds().Intersects(rect) {
+			t.Fatalf("intersecting circle must intersect via bounds too: %+v %+v", c, rect)
+		}
+	}
+}
+
+func TestUnionCommutativeQuick(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 float64) bool {
+		a, b := NewRect(x1, y1, x2, y2), NewRect(x3, y3, x4, y4)
+		return a.Union(b) == b.Union(a)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsPoint(t *testing.T) {
+	b := BoundsPoint(Point{3, 4})
+	if !b.Contains(Point{3, 4}) || b.Area() != 0 {
+		t.Errorf("BoundsPoint = %+v", b)
+	}
+}

@@ -1,0 +1,238 @@
+package sqlpp
+
+import (
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// Expr is any SQL++ expression node.
+type Expr interface{ exprNode() }
+
+// Literal is a constant value.
+type Literal struct {
+	Val adm.Value
+}
+
+// Ident is a variable reference (a FROM alias, LET binding, function
+// parameter, or dataset name in FROM position).
+type Ident struct {
+	Name string
+}
+
+// FieldAccess is base.field.
+type FieldAccess struct {
+	Base  Expr
+	Field string
+}
+
+// IndexAccess is base[index].
+type IndexAccess struct {
+	Base  Expr
+	Index Expr
+}
+
+// Call is a (possibly namespaced) function call: fn(args) or ns#fn(args).
+// Star marks count(*).
+type Call struct {
+	Ns   string
+	Name string
+	Args []Expr
+	Star bool
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT" | "-"
+	X  Expr
+}
+
+// Binary is a binary operation. Op is one of OR AND = != < <= > >= + - * / %.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// WhenClause is one WHEN ... THEN ... arm of a CASE.
+type WhenClause struct {
+	When Expr
+	Then Expr
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr // nil → NULL
+}
+
+// Exists is EXISTS(subquery).
+type Exists struct {
+	Sub *SelectExpr
+}
+
+// In is x [NOT] IN coll, where coll is any collection-valued expression
+// (subquery or array).
+type In struct {
+	Not  bool
+	X    Expr
+	Coll Expr
+}
+
+// SubqueryExpr wraps a parenthesized SELECT used as an expression; its
+// value is the array of result items.
+type SubqueryExpr struct {
+	Sel *SelectExpr
+}
+
+// ArrayCtor is [e1, e2, ...].
+type ArrayCtor struct {
+	Elems []Expr
+}
+
+// ObjectField is one key:value pair of an object constructor.
+type ObjectField struct {
+	Key string
+	Val Expr
+}
+
+// ObjectCtor is {"k": v, ...}.
+type ObjectCtor struct {
+	Fields []ObjectField
+}
+
+func (*Literal) exprNode()      {}
+func (*Ident) exprNode()        {}
+func (*FieldAccess) exprNode()  {}
+func (*IndexAccess) exprNode()  {}
+func (*Call) exprNode()         {}
+func (*Unary) exprNode()        {}
+func (*Binary) exprNode()       {}
+func (*CaseExpr) exprNode()     {}
+func (*Exists) exprNode()       {}
+func (*In) exprNode()           {}
+func (*SubqueryExpr) exprNode() {}
+func (*ArrayCtor) exprNode()    {}
+func (*ObjectCtor) exprNode()   {}
+
+// LetBinding is LET name = expr.
+type LetBinding struct {
+	Name string
+	Expr Expr
+}
+
+// FromClause is one FROM term: a source expression and its alias (the
+// alias defaults to the trailing identifier of the source).
+type FromClause struct {
+	Source Expr
+	Alias  string
+}
+
+// Projection is one SELECT-list item: expr [AS alias] or expr.* (Star).
+type Projection struct {
+	Expr  Expr
+	Alias string
+	Star  bool // expr.* — splice the object's fields into the output
+}
+
+// GroupKey is one GROUP BY term: expr [AS alias].
+type GroupKey struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderKey is one ORDER BY term.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectExpr is a full query block. Both LET placements are supported:
+// leading LETs (the paper's UDF style, before SELECT) and FROM-clause
+// LETs (after FROM). SelectValue and Projections are mutually exclusive.
+type SelectExpr struct {
+	Lets        []LetBinding
+	Distinct    bool
+	SelectValue Expr
+	Projections []Projection
+	From        []FromClause
+	FromLets    []LetBinding
+	Where       Expr
+	GroupBy     []GroupKey
+	OrderBy     []OrderKey
+	Limit       Expr
+}
+
+func (*SelectExpr) exprNode() {}
+
+// Statement is any top-level parsed statement.
+type Statement interface{ stmtNode() }
+
+// CreateType is CREATE TYPE name AS OPEN|CLOSED { field: type, ... }.
+type CreateType struct {
+	Name   string
+	Open   bool
+	Fields []adm.FieldDef
+}
+
+// CreateDataset is CREATE DATASET name(Type) PRIMARY KEY field.
+type CreateDataset struct {
+	Name       string
+	TypeName   string
+	PrimaryKey string
+}
+
+// CreateIndex is CREATE INDEX name ON dataset(field) TYPE BTREE|RTREE.
+type CreateIndex struct {
+	Name    string
+	Dataset string
+	Field   string
+	Kind    string // "BTREE" | "RTREE"
+}
+
+// CreateFunction is CREATE FUNCTION name(params) { body }.
+type CreateFunction struct {
+	Name   string
+	Params []string
+	Body   Expr
+}
+
+// CreateFeed is CREATE FEED name WITH { json config }.
+type CreateFeed struct {
+	Name   string
+	Config adm.Value
+}
+
+// ConnectFeed is CONNECT FEED f TO DATASET d [APPLY FUNCTION fn].
+type ConnectFeed struct {
+	Feed     string
+	Dataset  string
+	Function string
+}
+
+// StartFeed is START FEED name.
+type StartFeed struct{ Name string }
+
+// StopFeed is STOP FEED name.
+type StopFeed struct{ Name string }
+
+// Insert is INSERT/UPSERT INTO dataset ( source ).
+type Insert struct {
+	Dataset string
+	Source  Expr
+	Upsert  bool
+}
+
+// Query is a bare SELECT statement.
+type Query struct {
+	Sel *SelectExpr
+}
+
+func (*CreateType) stmtNode()     {}
+func (*CreateDataset) stmtNode()  {}
+func (*CreateIndex) stmtNode()    {}
+func (*CreateFunction) stmtNode() {}
+func (*CreateFeed) stmtNode()     {}
+func (*ConnectFeed) stmtNode()    {}
+func (*StartFeed) stmtNode()      {}
+func (*StopFeed) stmtNode()       {}
+func (*Insert) stmtNode()         {}
+func (*Query) stmtNode()          {}

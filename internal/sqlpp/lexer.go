@@ -1,0 +1,228 @@
+// Package sqlpp implements the SQL++ subset the paper's workload needs:
+// the full expression/query surface used by its eight enrichment UDFs
+// (SELECT / SELECT VALUE, multi-dataset FROM, LET, WHERE, GROUP BY,
+// ORDER BY, LIMIT, CASE, EXISTS, IN, subqueries, aggregates, namespaced
+// function calls) plus the DDL the examples use (CREATE TYPE / DATASET /
+// INDEX / FUNCTION / FEED, CONNECT FEED, START/STOP FEED, INSERT/UPSERT).
+package sqlpp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+const (
+	// TokEOF terminates the stream.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier (or contextual keyword).
+	TokIdent
+	// TokKeyword is a reserved word, normalized to upper case.
+	TokKeyword
+	// TokString is a string literal (quotes removed, escapes applied).
+	TokString
+	// TokInt is an integer literal.
+	TokInt
+	// TokDouble is a floating-point literal.
+	TokDouble
+	// TokOp is an operator or punctuation mark.
+	TokOp
+)
+
+// Token is one lexical unit with its source offset (for errors).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "VALUE": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "ORDER": true, "LIMIT": true, "LET": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"EXISTS": true, "IN": true, "NOT": true, "AND": true, "OR": true,
+	"AS": true, "CREATE": true, "TYPE": true, "DATASET": true,
+	"INDEX": true, "FUNCTION": true, "FEED": true, "CONNECT": true,
+	"START": true, "STOP": true, "TO": true, "APPLY": true,
+	"PRIMARY": true, "KEY": true, "INSERT": true, "UPSERT": true,
+	"INTO": true, "OPEN": true, "CLOSED": true, "ON": true,
+	"TRUE": true, "FALSE": true, "NULL": true, "MISSING": true,
+	"DISTINCT": true, "ASC": true, "DESC": true, "WITH": true,
+	"DROP": true, "IF": true, "USING": true, "HINT": true,
+}
+
+// Lex tokenizes the input. It returns a descriptive error with byte
+// offset on malformed input.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // -- line comment
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/': // // line comment
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*': // /* block comment */
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sqlpp: unterminated block comment at %d", i)
+			}
+			i += end + 4
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{TokKeyword, upper, start})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start})
+			}
+		case c >= '0' && c <= '9':
+			tok, next, err := lexNumber(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			i = next
+		case c == '"' || c == '\'':
+			s, next, err := lexString(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, Token{TokString, s, i})
+			i = next
+		case c == '`': // delimited identifier
+			end := strings.IndexByte(src[i+1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("sqlpp: unterminated delimited identifier at %d", i)
+			}
+			toks = append(toks, Token{TokIdent, src[i+1 : i+1+end], i})
+			i += end + 2
+		default:
+			op, next, err := lexOp(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, Token{TokOp, op, i})
+			i = next
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func lexNumber(src string, i int) (Token, int, error) {
+	start := i
+	n := len(src)
+	isFloat := false
+	for i < n && src[i] >= '0' && src[i] <= '9' {
+		i++
+	}
+	if i < n && src[i] == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9' {
+		isFloat = true
+		i++
+		for i < n && src[i] >= '0' && src[i] <= '9' {
+			i++
+		}
+	}
+	if i < n && (src[i] == 'e' || src[i] == 'E') {
+		j := i + 1
+		if j < n && (src[j] == '+' || src[j] == '-') {
+			j++
+		}
+		if j < n && src[j] >= '0' && src[j] <= '9' {
+			isFloat = true
+			i = j
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+		}
+	}
+	text := src[start:i]
+	if isFloat {
+		if _, err := strconv.ParseFloat(text, 64); err != nil {
+			return Token{}, 0, fmt.Errorf("sqlpp: bad number %q at %d", text, start)
+		}
+		return Token{TokDouble, text, start}, i, nil
+	}
+	return Token{TokInt, text, start}, i, nil
+}
+
+func lexString(src string, i int) (string, int, error) {
+	quote := src[i]
+	start := i
+	i++
+	var b strings.Builder
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == quote:
+			return b.String(), i + 1, nil
+		case c == '\\' && i+1 < n:
+			i++
+			switch src[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\', '"', '\'', '|':
+				b.WriteByte(src[i])
+			default:
+				// Preserve unknown escapes verbatim (regex-ish payloads in
+				// native UDF resource strings).
+				b.WriteByte('\\')
+				b.WriteByte(src[i])
+			}
+			i++
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("sqlpp: unterminated string at %d", start)
+}
+
+func lexOp(src string, i int) (string, int, error) {
+	two := ""
+	if i+1 < len(src) {
+		two = src[i : i+2]
+	}
+	switch two {
+	case "!=", "<=", ">=", "<>":
+		if two == "<>" {
+			return "!=", i + 2, nil
+		}
+		return two, i + 2, nil
+	}
+	switch c := src[i]; c {
+	case '(', ')', '{', '}', '[', ']', ',', ';', ':', '.', '#', '?',
+		'=', '<', '>', '+', '-', '*', '/', '%':
+		return string(c), i + 1, nil
+	}
+	return "", 0, fmt.Errorf("sqlpp: unexpected character %q at %d", src[i], i)
+}

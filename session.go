@@ -1,0 +1,142 @@
+package idea
+
+import (
+	"fmt"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/query"
+	"github.com/ideadb/idea/internal/sqlpp"
+)
+
+// Execute runs a sequence of semicolon-separated SQL++ statements: DDL
+// (CREATE TYPE / DATASET / INDEX / FUNCTION / FEED, CONNECT FEED,
+// START/STOP FEED) and DML (INSERT / UPSERT). Use Query for SELECTs.
+// START FEED returns asynchronously; the returned Feed handles (one per
+// START FEED in the script) let callers wait or stop.
+func (c *Cluster) Execute(script string) ([]*Feed, error) {
+	stmts, err := sqlpp.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	var feeds []*Feed
+	for _, stmt := range stmts {
+		f, err := c.executeStmt(stmt)
+		if err != nil {
+			return feeds, err
+		}
+		if f != nil {
+			feeds = append(feeds, f)
+		}
+	}
+	return feeds, nil
+}
+
+// MustExecute is Execute that panics on error (setup scripts in examples
+// and tests).
+func (c *Cluster) MustExecute(script string) []*Feed {
+	feeds, err := c.Execute(script)
+	if err != nil {
+		panic(err)
+	}
+	return feeds
+}
+
+func (c *Cluster) executeStmt(stmt sqlpp.Statement) (*Feed, error) {
+	switch s := stmt.(type) {
+	case *sqlpp.CreateType:
+		dt, err := adm.NewDatatype(s.Name, s.Open, s.Fields)
+		if err != nil {
+			return nil, err
+		}
+		return nil, c.inner.CreateDatatype(dt)
+	case *sqlpp.CreateDataset:
+		_, err := c.inner.CreateDataset(s.Name, s.TypeName, s.PrimaryKey)
+		return nil, err
+	case *sqlpp.CreateIndex:
+		return nil, c.inner.CreateIndex(s.Name, s.Dataset, s.Field, s.Kind)
+	case *sqlpp.CreateFunction:
+		return nil, c.inner.CreateFunction(&query.Function{
+			Name: s.Name, Params: s.Params, Body: s.Body,
+		})
+	case *sqlpp.CreateFeed:
+		return nil, c.mgr.CreateFeed(s.Name, s.Config)
+	case *sqlpp.ConnectFeed:
+		return nil, c.mgr.ConnectFeed(s.Feed, s.Dataset, s.Function)
+	case *sqlpp.StartFeed:
+		if _, err := c.mgr.StartFeed(c.ctx, s.Name); err != nil {
+			return nil, err
+		}
+		return &Feed{name: s.Name, c: c}, nil
+	case *sqlpp.StopFeed:
+		return nil, c.mgr.StopFeed(s.Name)
+	case *sqlpp.Insert:
+		return nil, c.executeInsert(s)
+	case *sqlpp.Query:
+		return nil, fmt.Errorf("idea: use Query for SELECT statements")
+	}
+	return nil, fmt.Errorf("idea: unsupported statement %T", stmt)
+}
+
+// executeInsert evaluates the source expression (a literal array or a
+// query) and inserts/upserts each record.
+func (c *Cluster) executeInsert(ins *sqlpp.Insert) error {
+	ds, ok := c.inner.Dataset(ins.Dataset)
+	if !ok {
+		return fmt.Errorf("idea: unknown dataset %q", ins.Dataset)
+	}
+	var src adm.Value
+	if v, err := sqlpp.ConstEval(ins.Source); err == nil {
+		src = v
+	} else {
+		ctx := query.NewContext(c.inner)
+		v, err := query.Eval(ctx, nil, ins.Source)
+		if err != nil {
+			return err
+		}
+		src = v
+	}
+	records := src.ArrayVal()
+	if records == nil && src.Kind() == adm.KindObject {
+		records = []adm.Value{src}
+	}
+	for _, rec := range records {
+		var err error
+		if ins.Upsert {
+			err = ds.Upsert(rec)
+		} else {
+			err = ds.Insert(rec)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query runs a SQL++ SELECT and returns its result collection. UDFs in
+// the query evaluate against current data — the paper's Option 1,
+// enrich-during-querying.
+func (c *Cluster) Query(q string) ([]Value, error) {
+	stmts, err := sqlpp.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("idea: Query expects exactly one statement")
+	}
+	qs, ok := stmts[0].(*sqlpp.Query)
+	if !ok {
+		return nil, fmt.Errorf("idea: Query expects a SELECT, got %T (use Execute)", stmts[0])
+	}
+	ctx := query.NewContext(c.inner)
+	out, err := query.ExecuteSelect(ctx, nil, qs.Sel)
+	if err != nil {
+		return nil, err
+	}
+	elems := out.ArrayVal()
+	vals := make([]Value, len(elems))
+	for i, e := range elems {
+		vals[i] = Value{e}
+	}
+	return vals, nil
+}
