@@ -8,12 +8,15 @@
 //	ideabench -experiment fig24 -scale 0.01 -v
 //	ideabench -experiment all -scale 0.005
 //	ideabench -experiment fig31 -nodes 2,4,8 -tweets 5000
+//	ideabench -experiment fig24 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -21,6 +24,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so profile-flushing defers fire on every exit
+// path (os.Exit would skip them).
+func run() int {
 	var (
 		experiment = flag.String("experiment", "", "experiment id (see -list) or 'all' for every figure")
 		scale      = flag.Float64("scale", 0.01, "fraction of the paper's dataset/tweet sizes")
@@ -29,19 +38,49 @@ func main() {
 		seed       = flag.Int64("seed", 2019, "workload random seed")
 		verbose    = flag.Bool("v", false, "stream per-cell progress")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ideabench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ideabench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ideabench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "ideabench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, name := range experiments.Names() {
 			fmt.Println(name)
 		}
-		return
+		return 0
 	}
 	if *experiment == "" {
 		fmt.Fprintln(os.Stderr, "ideabench: -experiment required (or -list)")
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	opts := experiments.Options{
@@ -56,7 +95,7 @@ func main() {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n <= 0 {
 				fmt.Fprintf(os.Stderr, "ideabench: bad -nodes value %q\n", part)
-				os.Exit(2)
+				return 2
 			}
 			opts.Nodes = append(opts.Nodes, n)
 		}
@@ -71,8 +110,9 @@ func main() {
 		table, err := experiments.Run(name, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ideabench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		table.Print(os.Stdout)
 	}
+	return 0
 }

@@ -1,0 +1,3 @@
+module github.com/ideadb/idea
+
+go 1.24

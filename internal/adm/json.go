@@ -15,6 +15,23 @@ import (
 // path: every ingested record passes through it once per computing job.
 func ParseJSON(data []byte) (Value, error) {
 	p := jsonParser{data: data}
+	return p.parseDocument()
+}
+
+// defaultObjectHint is the pre-size for objects when no Parser hint is
+// available.
+const defaultObjectHint = 8
+
+type jsonParser struct {
+	data  []byte
+	pos   int
+	depth int
+	// owner, when non-nil, supplies the field-name intern table and
+	// object size hints of a reusable Parser.
+	owner *Parser
+}
+
+func (p *jsonParser) parseDocument() (Value, error) {
 	p.skipSpace()
 	v, err := p.parseValue()
 	if err != nil {
@@ -25,11 +42,6 @@ func ParseJSON(data []byte) (Value, error) {
 		return Value{}, p.errorf("trailing data after JSON value")
 	}
 	return v, nil
-}
-
-type jsonParser struct {
-	data []byte
-	pos  int
 }
 
 func (p *jsonParser) errorf(format string, args ...any) error {
@@ -94,10 +106,17 @@ func (p *jsonParser) expect(lit string) error {
 
 func (p *jsonParser) parseObject() (Value, error) {
 	p.pos++ // consume '{'
-	obj := NewObject(8)
+	hint := defaultObjectHint
+	depth := p.depth
+	p.depth++
+	if p.owner != nil {
+		hint = p.owner.hint(depth)
+	}
+	obj := NewObject(hint)
 	p.skipSpace()
 	if p.pos < len(p.data) && p.data[p.pos] == '}' {
 		p.pos++
+		p.depth--
 		return ObjectValue(obj), nil
 	}
 	for {
@@ -105,7 +124,7 @@ func (p *jsonParser) parseObject() (Value, error) {
 		if p.pos >= len(p.data) || p.data[p.pos] != '"' {
 			return Value{}, p.errorf("expected object key string")
 		}
-		key, err := p.parseString()
+		key, err := p.parseKey()
 		if err != nil {
 			return Value{}, err
 		}
@@ -129,11 +148,44 @@ func (p *jsonParser) parseObject() (Value, error) {
 			p.pos++
 		case '}':
 			p.pos++
+			p.depth--
+			if p.owner != nil {
+				p.owner.observe(depth, obj.Len())
+			}
 			return ObjectValue(obj), nil
 		default:
 			return Value{}, p.errorf("expected ',' or '}' in object")
 		}
 	}
+}
+
+// parseKey parses an object field name. Escape-free names (the common
+// case by far) are interned straight from the input bytes without an
+// intermediate allocation.
+func (p *jsonParser) parseKey() (string, error) {
+	start := p.pos + 1
+	for i := start; i < len(p.data); i++ {
+		c := p.data[i]
+		if c == '"' {
+			b := p.data[start:i]
+			p.pos = i + 1
+			if p.owner != nil {
+				return p.owner.internBytes(b), nil
+			}
+			return string(b), nil
+		}
+		if c == '\\' || c < 0x20 {
+			break
+		}
+	}
+	s, err := p.parseString()
+	if err != nil {
+		return "", err
+	}
+	if p.owner != nil {
+		return p.owner.internString(s), nil
+	}
+	return s, nil
 }
 
 func (p *jsonParser) parseArray() (Value, error) {
@@ -272,18 +324,53 @@ func (p *jsonParser) parseNumber() (Value, error) {
 		}
 	}
 done:
-	text := string(p.data[start:p.pos])
+	b := p.data[start:p.pos]
 	if !isFloat {
-		if i, err := strconv.ParseInt(text, 10, 64); err == nil {
+		if i, ok := parseIntBytes(b); ok {
 			return Int(i), nil
 		}
 		// Out-of-range integers fall back to double, like encoding/json.
 	}
-	f, err := strconv.ParseFloat(text, 64)
+	f, err := strconv.ParseFloat(string(b), 64)
 	if err != nil {
-		return Value{}, p.errorf("invalid number %q", text)
+		return Value{}, p.errorf("invalid number %q", b)
 	}
 	return Double(f), nil
+}
+
+// parseIntBytes decodes a decimal int64 from raw digits without the
+// string conversion strconv.ParseInt would force; integers are the most
+// common number kind on the feed path. ok is false for malformed or
+// out-of-range input (the caller falls back to the float path).
+func parseIntBytes(b []byte) (int64, bool) {
+	i := 0
+	neg := false
+	if i < len(b) && b[i] == '-' {
+		neg = true
+		i++
+	}
+	// ≤ 19 digits cannot overflow uint64; larger magnitudes fall back.
+	if i >= len(b) || len(b)-i > 19 {
+		return 0, false
+	}
+	var n uint64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	if neg {
+		if n > 1<<63 {
+			return 0, false
+		}
+		return -int64(n), true
+	}
+	if n > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(n), true
 }
 
 // AppendJSON appends the canonical JSON serialization of v to dst and

@@ -1,0 +1,33 @@
+package adm
+
+import (
+	"testing"
+)
+
+// tweetJSON is shaped like the paper's Twitter records: a handful of
+// repeated scalar fields plus a nested user object and a geo point.
+var tweetJSON = []byte(`{"id":184756291028475,"text":"benchmark tweet with some padding text to look realistic #idea","timestamp_ms":"1561093200123","lang":"en","favorite_count":12,"retweet_count":3,"user":{"id":99182736455,"name":"ingest bench","screen_name":"ingestbench","followers_count":1024,"friends_count":256},"coordinates":{"type":"Point","coordinates":[-117.84,33.68]}}`)
+
+func BenchmarkParseJSON(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(tweetJSON)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseJSON(tweetJSON); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseJSONParser exercises the reusable Parser: interned field
+// names and size-hinted objects, the configuration the feed hot path
+// runs with.
+func BenchmarkParseJSONParser(b *testing.B) {
+	p := NewParser()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(tweetJSON)))
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Parse(tweetJSON); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

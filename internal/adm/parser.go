@@ -1,0 +1,122 @@
+package adm
+
+// Parser is a reusable JSON parser for record streams whose records
+// share a schema shape, like the feed hot path: millions of tweet-shaped
+// records with the same handful of field names. It keeps two pieces of
+// state across Parse calls:
+//
+//   - a field-name intern table, so repeated object keys ("id", "text",
+//     "geo", ...) share one string allocation for the life of the parser
+//     instead of re-allocating per record, and
+//   - per-nesting-depth field-count hints taken from previously parsed
+//     records, so objects are pre-sized to their expected width instead
+//     of growing from a fixed default.
+//
+// A Parser is not safe for concurrent use; the feed keeps one per
+// collector partition. The zero value is NOT usable — call NewParser.
+type Parser struct {
+	intern map[string]string
+	hints  []int
+}
+
+const (
+	// maxInternedNames bounds the intern table so adversarial inputs
+	// with unbounded distinct keys cannot grow it without limit; keys
+	// past the bound are still parsed, just not retained.
+	maxInternedNames = 1 << 12
+	// maxInternedNameLen bounds each retained key, so the table's worst
+	// case is maxInternedNames × maxInternedNameLen bytes (4MB) even
+	// when an untrusted feed sends multi-megabyte field names.
+	maxInternedNameLen = 1 << 10
+	// maxHintDepth bounds the per-depth size-hint table.
+	maxHintDepth = 32
+	// maxFieldHint caps how large a pre-size hint can get, so one wide
+	// outlier record does not pin large allocations for every record
+	// that follows.
+	maxFieldHint = 64
+)
+
+// NewParser returns a parser with an empty intern table.
+func NewParser() *Parser {
+	return &Parser{intern: make(map[string]string, 32)}
+}
+
+// Parse parses one JSON value, interning field names and pre-sizing
+// objects from earlier records. It is the hot-path replacement for
+// ParseJSON.
+func (pp *Parser) Parse(data []byte) (Value, error) {
+	p := jsonParser{data: data, owner: pp}
+	return p.parseDocument()
+}
+
+// ParseInto parses one JSON value and appends it to dst, the
+// caller-owned arena of values (typically a pooled frame-record slice),
+// returning the extended slice. On a parse error dst is returned
+// unchanged.
+func (pp *Parser) ParseInto(data []byte, dst []Value) ([]Value, error) {
+	v, err := pp.Parse(data)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, v), nil
+}
+
+// ParseJSONInto is ParseInto without parser state: it parses data and
+// appends the result to the caller-owned dst.
+func ParseJSONInto(data []byte, dst []Value) ([]Value, error) {
+	v, err := ParseJSON(data)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, v), nil
+}
+
+// internBytes returns the canonical string for a field name given as raw
+// bytes, allocating only the first time a name is seen. The m[string(b)]
+// lookup form compiles to a no-allocation map access.
+func (pp *Parser) internBytes(b []byte) string {
+	if s, ok := pp.intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(s) <= maxInternedNameLen && len(pp.intern) < maxInternedNames {
+		pp.intern[s] = s
+	}
+	return s
+}
+
+// internString is internBytes for names that needed escape decoding.
+func (pp *Parser) internString(s string) string {
+	if v, ok := pp.intern[s]; ok {
+		return v
+	}
+	if len(s) <= maxInternedNameLen && len(pp.intern) < maxInternedNames {
+		pp.intern[s] = s
+	}
+	return s
+}
+
+// hint returns the expected field count for an object at the given
+// nesting depth, from the widest object seen there so far.
+func (pp *Parser) hint(depth int) int {
+	if depth < len(pp.hints) && pp.hints[depth] > 0 {
+		return pp.hints[depth]
+	}
+	return defaultObjectHint
+}
+
+// observe records the field count of a finished object at depth.
+func (pp *Parser) observe(depth, n int) {
+	if depth >= maxHintDepth {
+		return
+	}
+	for len(pp.hints) <= depth {
+		pp.hints = append(pp.hints, 0)
+	}
+	if n > maxFieldHint {
+		n = maxFieldHint
+	}
+	if n > pp.hints[depth] {
+		pp.hints[depth] = n
+	}
+}

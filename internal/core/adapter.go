@@ -29,6 +29,11 @@ import (
 // Adapter obtains/receives data from an external source as raw bytes,
 // one record per emit call. Run returns when the source is exhausted or
 // ctx is canceled; emit blocks for backpressure.
+//
+// Emitted bytes travel the pipeline zero-copy: the feed retains the
+// slice until the record has been parsed, so an adapter must hand each
+// emit call its own slice (or one it will never mutate again) — it must
+// not reuse a read buffer across emits.
 type Adapter interface {
 	Run(ctx context.Context, emit func(raw []byte) error) error
 }

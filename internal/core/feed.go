@@ -90,6 +90,18 @@ type Feed struct {
 	intakeJob      *hyracks.Job
 	storageJob     *hyracks.Job
 
+	// parsers[p] is partition p's reusable JSON parser; its field-name
+	// intern table and size hints stay warm across invocations. Each is
+	// only touched by the collector instance for partition p, and
+	// invocations run sequentially, so no locking is needed.
+	parsers []*adm.Parser
+
+	// computeSpec is the predeployed computing job's spec skeleton,
+	// built once at start; per-invocation state lives in curInv. The
+	// RecompilePerBatch ablation rebuilds the spec every batch instead.
+	computeSpec *hyracks.JobSpec
+	curInv      atomic.Pointer[invocation]
+
 	eof []atomic.Bool // per node: intake holder fully drained
 
 	jobCtx    context.Context
@@ -189,6 +201,10 @@ func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
 	if f.quota < 1 {
 		f.quota = 1
 	}
+	f.parsers = make([]*adm.Parser, n)
+	for p := range f.parsers {
+		f.parsers[p] = adm.NewParser()
+	}
 
 	// Partition holders, registered with each node's manager.
 	for p := 0; p < n; p++ {
@@ -240,13 +256,17 @@ func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
 	}
 
 	// Predeploy the computing job template, then let the AFM invoke it
-	// per batch (unless the predeploy ablation is off).
+	// per batch (unless the predeploy ablation is off). The spec
+	// skeleton — descriptors, closures, connectors — is built exactly
+	// once here; invocations only swap in fresh per-batch state via
+	// curInv, honoring the paper's predeployed-job optimization.
 	if !cfg.RecompilePerBatch {
 		if err := c.Predeploy(f.computeID); err != nil {
 			f.teardownHolders()
 			jobCancel()
 			return nil, err
 		}
+		f.computeSpec = f.buildComputeSpec()
 	}
 	go f.runAFM()
 	return f, nil
@@ -272,9 +292,10 @@ func (f *Feed) buildIntakeSpec() (*hyracks.JobSpec, error) {
 					return err
 				}
 				b := hyracks.NewFrameBuilder(f.frameCap, out)
-				err := adapter.Run(f.adaptCtx, func(raw []byte) error {
-					return b.Add(adm.String(string(raw)))
-				})
+				// Raw record bytes ride the frame's raw lane untouched —
+				// no string wrapping, no copy; the collector's parser
+				// reads them directly.
+				err := adapter.Run(f.adaptCtx, b.AddRaw)
 				if err != nil && !(errors.Is(err, context.Canceled) && f.adaptCtx.Err() != nil) {
 					return err
 				}
@@ -322,6 +343,9 @@ func (f *Feed) buildStorageSpec() *hyracks.JobSpec {
 					}
 					part.WAL().Commit() // group commit per frame
 					f.stats.Stored.Add(int64(fr.Len()))
+					// The WAL commit makes the batch durable; the frame's
+					// spine can go back to the pool.
+					hyracks.RecycleFrame(fr)
 					return nil
 				},
 			}, nil
@@ -377,10 +401,14 @@ func (f *Feed) newInvocation() (*invocation, error) {
 	return inv, nil
 }
 
-// buildComputeSpec assembles one invocation: collector+parser → UDF
+// buildComputeSpec assembles the computing job: collector+parser → UDF
 // evaluator → feed pipeline sink, one instance per node, no cross-node
-// exchange (the storage job's hash partitioner does the routing).
-func (f *Feed) buildComputeSpec(inv *invocation) *hyracks.JobSpec {
+// exchange (the storage job's hash partitioner does the routing). The
+// spec is a reusable skeleton: operator factories resolve the current
+// per-batch state through f.curInv when an invocation instantiates
+// them, so the predeployed path builds it once and reuses it for every
+// batch.
+func (f *Feed) buildComputeSpec() *hyracks.JobSpec {
 	spec := hyracks.NewJobSpec()
 	spec.QueueCapacity = f.cluster.Tuning().HolderCapacity
 	n := f.cluster.NumNodes()
@@ -389,6 +417,7 @@ func (f *Feed) buildComputeSpec(inv *invocation) *hyracks.JobSpec {
 		Name:        "collector-parser",
 		Parallelism: n,
 		NewSource: func(p int) (hyracks.Source, error) {
+			inv := f.curInv.Load()
 			return hyracks.SourceFunc(func(tc *hyracks.TaskContext, out hyracks.Writer) error {
 				if err := out.Open(); err != nil {
 					return err
@@ -396,26 +425,49 @@ func (f *Feed) buildComputeSpec(inv *invocation) *hyracks.JobSpec {
 				if f.eof[p].Load() {
 					return nil
 				}
-				raws, eof, err := f.intakeHolders[p].PullBatch(tc.Ctx, f.quota)
+				raws, eof, err := f.intakeHolders[p].PullRawBatch(tc.Ctx, f.quota)
 				if err != nil {
 					return err
 				}
+				defer hyracks.PutRawSlice(raws)
 				if eof {
 					f.eof[p].Store(true)
 				}
-				b := hyracks.NewFrameBuilder(f.frameCap, out)
+				// Parse straight into a pooled arena that becomes the
+				// outgoing frame: ParseInto appends each record to the
+				// caller-owned slice, so there is no per-record staging.
+				parser := f.parsers[p]
+				arena := hyracks.GetRecordSlice(f.frameCap)
 				for _, raw := range raws {
-					rec, perr := f.parseRecord(raw)
+					n := len(arena)
+					var perr error
+					arena, perr = parser.ParseInto(raw, arena)
 					if perr != nil {
 						f.stats.ParseErrors.Add(1)
 						continue
 					}
+					if f.dt != nil {
+						v, verr := f.dt.Validate(arena[n])
+						if verr != nil {
+							arena = arena[:n]
+							f.stats.ParseErrors.Add(1)
+							continue
+						}
+						arena[n] = v
+					}
 					inv.records.Add(1)
-					if err := b.Add(rec); err != nil {
-						return err
+					if len(arena) >= f.frameCap {
+						if err := out.Push(hyracks.Frame{Records: arena}); err != nil {
+							return err
+						}
+						arena = hyracks.GetRecordSlice(f.frameCap)
 					}
 				}
-				return b.Flush()
+				if len(arena) == 0 {
+					hyracks.PutRecordSlice(arena)
+					return nil
+				}
+				return out.Push(hyracks.Frame{Records: arena})
 			}), nil
 		},
 	})
@@ -424,6 +476,7 @@ func (f *Feed) buildComputeSpec(inv *invocation) *hyracks.JobSpec {
 		Name:        "udf-evaluator",
 		Parallelism: n,
 		NewPipe: func(p int) (hyracks.Pipe, error) {
+			inv := f.curInv.Load()
 			return &hyracks.MapPipe{Fn: func(rec adm.Value) (adm.Value, bool, error) {
 				switch {
 				case inv.prepared != nil:
@@ -467,6 +520,7 @@ func (f *Feed) buildComputeSpec(inv *invocation) *hyracks.JobSpec {
 						}
 						part.WAL().Commit()
 						f.stats.Stored.Add(int64(fr.Len()))
+						hyracks.RecycleFrame(fr)
 						return nil
 					},
 				}, nil
@@ -493,18 +547,6 @@ func (f *Feed) buildComputeSpec(inv *invocation) *hyracks.JobSpec {
 	return spec
 }
 
-// parseRecord turns raw feed bytes into a validated ADM record.
-func (f *Feed) parseRecord(raw adm.Value) (adm.Value, error) {
-	rec, err := adm.ParseJSON([]byte(raw.StringVal()))
-	if err != nil {
-		return adm.Value{}, err
-	}
-	if f.dt != nil {
-		return f.dt.Validate(rec)
-	}
-	return rec, nil
-}
-
 // runAFM is the Active Feed Manager loop: keep invoking computing jobs
 // while any intake partition still has data, then shut the storage job
 // down.
@@ -517,12 +559,14 @@ func (f *Feed) runAFM() {
 			f.fail(err)
 			break
 		}
-		spec := f.buildComputeSpec(inv)
+		f.curInv.Store(inv)
 		var job *hyracks.Job
 		if f.cfg.RecompilePerBatch {
-			job, err = f.cluster.StartJob(f.jobCtx, spec, f.computeID)
+			// Ablation: rebuild the whole spec skeleton per batch, the
+			// cost the predeployed path caches away.
+			job, err = f.cluster.StartJob(f.jobCtx, f.buildComputeSpec(), f.computeID)
 		} else {
-			job, err = f.cluster.InvokePredeployed(f.jobCtx, f.computeID, spec)
+			job, err = f.cluster.InvokePredeployed(f.jobCtx, f.computeID, f.computeSpec)
 		}
 		if err != nil {
 			f.fail(err)

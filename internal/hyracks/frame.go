@@ -9,27 +9,55 @@
 // endpoints that let one job hand frames to another at runtime, which
 // plain Hyracks jobs cannot do ("data exchanges in Hyracks are limited
 // to being within the scope of a job").
+//
+// # Frame ownership and recycling
+//
+// Frame slices are pooled to keep the ingestion hot path allocation-
+// lean. The ownership discipline is:
+//
+//   - Pushing a frame into a Writer or holder transfers ownership of
+//     its Records/Raw slices downstream; the producer must not touch
+//     them afterwards.
+//   - The final consumer of a frame — a sink that has copied or stored
+//     every record it needs (the storage writer after its WAL commit, a
+//     holder pull after copying records out) — returns the slices to
+//     the pool with RecycleFrame.
+//   - Broadcast connectors deliver one frame to many consumers; such
+//     frames are marked Shared and RecycleFrame ignores them, so no
+//     consumer can pull the backing array out from under another.
+//   - Record values themselves are never pooled: adm.Value payloads are
+//     immutable-by-convention and may outlive the frame (storage keeps
+//     them). Recycling only reuses the slice spines.
 package hyracks
 
 import (
+	"sync"
+
 	"github.com/ideadb/idea/internal/adm"
 )
 
 // Frame is a batch of records moving through a dataflow, the unit of
-// transfer between operators.
+// transfer between operators. It has two lanes: Records carries parsed
+// ADM values; Raw carries unparsed record bytes so adapters can ship
+// data to the parser without copying or wrapping it. A frame normally
+// uses exactly one lane.
 type Frame struct {
 	Records []adm.Value
+	Raw     [][]byte
+	// Shared marks a frame delivered to multiple consumers (broadcast
+	// routing); RecycleFrame refuses shared frames.
+	Shared bool
 }
 
-// Len returns the number of records in the frame.
-func (f Frame) Len() int { return len(f.Records) }
+// Len returns the number of records in the frame across both lanes.
+func (f Frame) Len() int { return len(f.Records) + len(f.Raw) }
 
 // Writer is the push-based receiving surface of a downstream operator or
 // connector (Hyracks' IFrameWriter).
 type Writer interface {
 	// Open readies the writer; it is called exactly once before any Push.
 	Open() error
-	// Push delivers one frame.
+	// Push delivers one frame, transferring ownership of its slices.
 	Push(f Frame) error
 	// Close signals end-of-data; no Push may follow.
 	Close() error
@@ -38,18 +66,102 @@ type Writer interface {
 // discardWriter terminates a dataflow branch with no consumers.
 type discardWriter struct{}
 
-func (discardWriter) Open() error      { return nil }
-func (discardWriter) Push(Frame) error { return nil }
-func (discardWriter) Close() error     { return nil }
+func (discardWriter) Open() error { return nil }
+func (discardWriter) Push(f Frame) error {
+	RecycleFrame(f)
+	return nil
+}
+func (discardWriter) Close() error { return nil }
 
 // Discard is a Writer that drops everything (the output of sink
 // operators).
 var Discard Writer = discardWriter{}
 
+// minPooledCap is the smallest capacity for freshly allocated pooled
+// slices, so tiny first requests still produce reusable buffers.
+const minPooledCap = 64
+
+var recordSlicePool = sync.Pool{}
+
+// GetRecordSlice returns an empty record slice with at least the given
+// capacity hint, reusing a pooled spine when one is available. A pooled
+// spine smaller than the hint is dropped rather than recirculated, so
+// undersized spines don't keep forcing regrowth at large-batch sites;
+// the pool converges on spines big enough for every caller.
+func GetRecordSlice(capacity int) []adm.Value {
+	if v := recordSlicePool.Get(); v != nil {
+		if s := (*v.(*[]adm.Value))[:0]; cap(s) >= capacity {
+			return s
+		}
+	}
+	if capacity < minPooledCap {
+		capacity = minPooledCap
+	}
+	return make([]adm.Value, 0, capacity)
+}
+
+// PutRecordSlice returns a record slice's spine to the pool. The caller
+// must own the full backing array: no other holder of the slice (or any
+// subslice) may use it afterwards. The array is cleared so pooled spines
+// do not pin record payloads.
+func PutRecordSlice(s []adm.Value) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	recordSlicePool.Put(&s)
+}
+
+var rawSlicePool = sync.Pool{}
+
+// GetRawSlice is GetRecordSlice for the raw-bytes lane.
+func GetRawSlice(capacity int) [][]byte {
+	if v := rawSlicePool.Get(); v != nil {
+		if s := (*v.(*[][]byte))[:0]; cap(s) >= capacity {
+			return s
+		}
+	}
+	if capacity < minPooledCap {
+		capacity = minPooledCap
+	}
+	return make([][]byte, 0, capacity)
+}
+
+// PutRawSlice is PutRecordSlice for the raw-bytes lane.
+func PutRawSlice(s [][]byte) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	rawSlicePool.Put(&s)
+}
+
+// RecycleFrame returns both of a frame's slices to their pools. It is
+// called by the frame's final consumer (see the package comment for the
+// ownership rules) and is a no-op for shared frames.
+func RecycleFrame(f Frame) {
+	if f.Shared {
+		return
+	}
+	if f.Records != nil {
+		PutRecordSlice(f.Records)
+	}
+	if f.Raw != nil {
+		PutRawSlice(f.Raw)
+	}
+}
+
 // FrameBuilder accumulates records and emits full frames to a Writer.
+// Its buffers come from the frame pool; each Flush transfers the buffer
+// downstream and the next Add draws a fresh (usually recycled) one.
 type FrameBuilder struct {
 	capacity int
 	buf      []adm.Value
+	raw      [][]byte
 	out      Writer
 }
 
@@ -62,21 +174,38 @@ func NewFrameBuilder(capacity int, out Writer) *FrameBuilder {
 	return &FrameBuilder{capacity: capacity, out: out}
 }
 
-// Add appends one record, flushing when the frame is full.
+// Add appends one parsed record, flushing when the frame is full.
 func (b *FrameBuilder) Add(rec adm.Value) error {
+	if b.buf == nil {
+		b.buf = GetRecordSlice(b.capacity)
+	}
 	b.buf = append(b.buf, rec)
-	if len(b.buf) >= b.capacity {
+	if len(b.buf)+len(b.raw) >= b.capacity {
 		return b.Flush()
 	}
 	return nil
 }
 
-// Flush emits any buffered records as a frame.
+// AddRaw appends one raw record's bytes (not copied — the caller must
+// not mutate them afterwards), flushing when the frame is full.
+func (b *FrameBuilder) AddRaw(rec []byte) error {
+	if b.raw == nil {
+		b.raw = GetRawSlice(b.capacity)
+	}
+	b.raw = append(b.raw, rec)
+	if len(b.buf)+len(b.raw) >= b.capacity {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Flush emits any buffered records as a frame, transferring buffer
+// ownership downstream.
 func (b *FrameBuilder) Flush() error {
-	if len(b.buf) == 0 {
+	if len(b.buf) == 0 && len(b.raw) == 0 {
 		return nil
 	}
-	f := Frame{Records: b.buf}
-	b.buf = make([]adm.Value, 0, b.capacity)
+	f := Frame{Records: b.buf, Raw: b.raw}
+	b.buf, b.raw = nil, nil
 	return b.out.Push(f)
 }

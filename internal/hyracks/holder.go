@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ideadb/idea/internal/adm"
 )
@@ -13,41 +15,132 @@ import (
 // been closed.
 var ErrHolderClosed = errors.New("hyracks: partition holder closed")
 
+// holderCore is the queue + close protocol shared by both holder kinds.
+//
+// The queue channel is never closed: end-of-input is signaled by the
+// done channel instead, so a push racing CloseInput can never panic
+// with "send on closed channel". The inflight counter tracks pushes
+// that are past their closed-check; drains wait those out before
+// reporting EOF. Together they give the holder invariant: a push
+// either returns ErrHolderClosed, or succeeds and its frame is drained
+// before EOF is reported — never a panic, never a silent drop.
+type holderCore struct {
+	queue    chan Frame
+	done     chan struct{}
+	once     sync.Once
+	inflight atomic.Int64
+}
+
+func newHolderCore(capacity int) holderCore {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return holderCore{
+		queue: make(chan Frame, capacity),
+		done:  make(chan struct{}),
+	}
+}
+
+// closeInput marks the input finished (idempotent).
+func (c *holderCore) closeInput() {
+	c.once.Do(func() { close(c.done) })
+}
+
+// push enqueues under the close protocol: it blocks when the queue is
+// full unless ctx is canceled or the input is closed.
+func (c *holderCore) push(ctx context.Context, f Frame) error {
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
+	select {
+	case <-c.done:
+		return ErrHolderClosed
+	default:
+	}
+	select {
+	case c.queue <- f:
+		return nil
+	case <-c.done:
+		return ErrHolderClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// recvAfterClose takes a queued frame after the input was closed,
+// waiting out pushes that are past their closed-check (they either
+// enqueue promptly or fail — done is closed, so none can block).
+// ok=false means the holder is fully drained: no queued frame and no
+// in-flight push.
+func (c *holderCore) recvAfterClose() (Frame, bool) {
+	for {
+		select {
+		case f := <-c.queue:
+			return f, true
+		default:
+			if c.inflight.Load() == 0 {
+				return Frame{}, false
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// takeBuffered moves up to max-len(dst) elements from *store to dst.
+// The caller must hold the lock guarding *store.
+func takeBuffered[T any](store *[]T, dst []T, max int) []T {
+	room := max - len(dst)
+	if room <= 0 || len(*store) == 0 {
+		return dst
+	}
+	n := min(room, len(*store))
+	dst = append(dst, (*store)[:n]...)
+	*store = (*store)[n:]
+	if len(*store) == 0 {
+		*store = nil
+	}
+	return dst
+}
+
+// stashSplit appends up to max-len(dst) elements of incoming to dst and
+// copies the overflow into *overflow. The caller must hold the lock
+// guarding *overflow.
+func stashSplit[T any](dst, incoming []T, max int, overflow *[]T) []T {
+	room := max - len(dst)
+	if room >= len(incoming) {
+		return append(dst, incoming...)
+	}
+	dst = append(dst, incoming[:room]...)
+	*overflow = append(*overflow, incoming[room:]...)
+	return dst
+}
+
 // PassiveHolder is the paper's passive partition holder: it guards a
 // runtime partition with a bounded frame queue; the owning job pushes
 // frames in (implementing Pipe as the job's sink), and *other* jobs pull
 // batches out. The intake job ends in one of these so computing jobs can
-// collect their input batches.
+// collect their input batches. See holderCore for the close protocol.
 type PassiveHolder struct {
-	queue chan Frame
+	core holderCore
 
-	mu     sync.Mutex
-	closed bool
-
-	leftover []adm.Value // records pulled but not yet returned
+	mu          sync.Mutex
+	leftover    []adm.Value // records pulled but not yet returned
+	leftoverRaw [][]byte    // raw records pulled but not yet returned
 }
 
 // NewPassiveHolder returns a holder with the given frame-queue capacity
 // (the backpressure bound).
 func NewPassiveHolder(capacity int) *PassiveHolder {
-	if capacity <= 0 {
-		capacity = 64
-	}
-	return &PassiveHolder{queue: make(chan Frame, capacity)}
+	return &PassiveHolder{core: newHolderCore(capacity)}
 }
 
 // Open implements Pipe.
 func (h *PassiveHolder) Open(*TaskContext, Writer) error { return nil }
 
-// Push implements Pipe: enqueue the frame, blocking when full
-// (backpressure to the producer) unless the job is canceled.
+// Push implements Pipe: enqueue the frame under the close protocol,
+// blocking when full (backpressure to the producer) unless the job is
+// canceled.
 func (h *PassiveHolder) Push(tc *TaskContext, f Frame, _ Writer) error {
-	select {
-	case h.queue <- f:
-		return nil
-	case <-tc.Ctx.Done():
-		return tc.Ctx.Err()
-	}
+	return h.core.push(tc.Ctx, f)
 }
 
 // Close implements Pipe: marks end of input. Pulls drain the queue then
@@ -59,170 +152,161 @@ func (h *PassiveHolder) Close(*TaskContext, Writer) error {
 
 // CloseInput marks the holder's input as finished (the "EOF record" of
 // the paper's stop-feed protocol).
-func (h *PassiveHolder) CloseInput() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.closed {
-		h.closed = true
-		close(h.queue)
-	}
-}
+func (h *PassiveHolder) CloseInput() { h.core.closeInput() }
 
-// PushFrame enqueues a frame from outside a dataflow (adapters use it).
-// It blocks when the queue is full unless ctx is canceled.
+// PushFrame enqueues a frame from outside a dataflow (adapters use it),
+// transferring ownership of the frame's slices to the holder. It blocks
+// when the queue is full unless ctx is canceled or the input is closed.
+// It is safe against a concurrent CloseInput: the race resolves to
+// either a successful enqueue — in which case pulls are guaranteed to
+// drain the frame before reporting EOF — or ErrHolderClosed, never a
+// panic or a silently dropped frame.
 func (h *PassiveHolder) PushFrame(ctx context.Context, f Frame) error {
-	h.mu.Lock()
-	closed := h.closed
-	h.mu.Unlock()
-	if closed {
-		return ErrHolderClosed
-	}
-	select {
-	case h.queue <- f:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return h.core.push(ctx, f)
 }
 
-// PullBatch collects up to max records for a computing-job invocation.
-// It blocks until at least one record is available (or input is closed),
-// then drains without blocking up to the limit. eof reports that the
-// holder is closed *and* fully drained.
+// pullLoop is the shared block-then-drain skeleton of both pull lanes:
+// block until at least one record lands in dst (or input is closed),
+// then drain without blocking up to max. stash moves one frame's
+// records into dst; discard releases dst's (possibly pooled) spine on
+// the empty-return paths. eof reports closed *and* fully drained.
+func pullLoop[T any](core *holderCore, ctx context.Context, dst []T, max int,
+	stash func([]T, Frame, int) []T, discard func([]T)) ([]T, bool, error) {
+	if len(dst) == 0 {
+		// Block for the first frame.
+		select {
+		case f := <-core.queue:
+			dst = stash(dst, f, max)
+		case <-core.done:
+			// Input closed; drain anything queued or still in flight.
+			f, ok := core.recvAfterClose()
+			if !ok {
+				discard(dst)
+				return nil, true, nil
+			}
+			dst = stash(dst, f, max)
+		case <-ctx.Done():
+			discard(dst)
+			return nil, false, ctx.Err()
+		}
+	}
+	// Drain whatever else is immediately available.
+	for len(dst) < max {
+		select {
+		case f := <-core.queue:
+			dst = stash(dst, f, max)
+		default:
+			return dst, false, nil
+		}
+	}
+	return dst, false, nil
+}
+
+// PullBatch collects up to max parsed records for a computing-job
+// invocation. It blocks until at least one record is available (or input
+// is closed), then drains without blocking up to the limit. eof reports
+// that the holder is closed *and* fully drained. Drained frames are
+// recycled once their records are copied out.
 func (h *PassiveHolder) PullBatch(ctx context.Context, max int) (recs []adm.Value, eof bool, err error) {
-	recs = h.takeLeftover(nil, max)
-	if len(recs) < max {
-		if len(recs) == 0 {
-			// Block for the first frame.
-			select {
-			case f, ok := <-h.queue:
-				if !ok {
-					return nil, true, nil
-				}
-				recs = h.stash(recs, f.Records, max)
-			case <-ctx.Done():
-				return nil, false, ctx.Err()
-			}
-		}
-		// Drain whatever else is immediately available.
-		for len(recs) < max {
-			select {
-			case f, ok := <-h.queue:
-				if !ok {
-					return recs, len(recs) == 0, nil
-				}
-				recs = h.stash(recs, f.Records, max)
-			default:
-				return recs, false, nil
-			}
-		}
-	}
-	return recs, false, nil
-}
-
-// stash appends up to max records, keeping any overflow for the next
-// pull.
-func (h *PassiveHolder) stash(recs, incoming []adm.Value, max int) []adm.Value {
-	room := max - len(recs)
-	if room >= len(incoming) {
-		return append(recs, incoming...)
-	}
-	recs = append(recs, incoming[:room]...)
 	h.mu.Lock()
-	h.leftover = append(h.leftover, incoming[room:]...)
+	recs = takeBuffered(&h.leftover, nil, max)
 	h.mu.Unlock()
+	return pullLoop(&h.core, ctx, recs, max, h.stash, func([]adm.Value) {})
+}
+
+// PullRawBatch is PullBatch for the raw-bytes lane. The returned slice
+// comes from the frame pool; the caller should hand it back with
+// PutRawSlice once the records are parsed.
+func (h *PassiveHolder) PullRawBatch(ctx context.Context, max int) (raws [][]byte, eof bool, err error) {
+	h.mu.Lock()
+	raws = takeBuffered(&h.leftoverRaw, GetRawSlice(max), max)
+	h.mu.Unlock()
+	return pullLoop(&h.core, ctx, raws, max, h.stashRaw, PutRawSlice)
+}
+
+// stash appends up to max records, keeping any overflow (and any
+// raw-lane records of a mixed frame) for later pulls, then recycles the
+// frame — its contents have been copied out.
+func (h *PassiveHolder) stash(recs []adm.Value, f Frame, max int) []adm.Value {
+	h.mu.Lock()
+	recs = stashSplit(recs, f.Records, max, &h.leftover)
+	if len(f.Raw) > 0 {
+		h.leftoverRaw = append(h.leftoverRaw, f.Raw...)
+	}
+	h.mu.Unlock()
+	RecycleFrame(f)
 	return recs
 }
 
-func (h *PassiveHolder) takeLeftover(recs []adm.Value, max int) []adm.Value {
+// stashRaw is stash for the raw lane.
+func (h *PassiveHolder) stashRaw(raws [][]byte, f Frame, max int) [][]byte {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	room := max - len(recs)
-	if room <= 0 || len(h.leftover) == 0 {
-		return recs
+	raws = stashSplit(raws, f.Raw, max, &h.leftoverRaw)
+	if len(f.Records) > 0 {
+		h.leftover = append(h.leftover, f.Records...)
 	}
-	n := room
-	if n > len(h.leftover) {
-		n = len(h.leftover)
-	}
-	recs = append(recs, h.leftover[:n]...)
-	h.leftover = h.leftover[n:]
-	if len(h.leftover) == 0 {
-		h.leftover = nil
-	}
-	return recs
+	h.mu.Unlock()
+	RecycleFrame(f)
+	return raws
 }
 
 // Pending reports queued records (approximate; frames in queue plus
 // leftovers).
 func (h *PassiveHolder) Pending() int {
 	h.mu.Lock()
-	n := len(h.leftover)
+	n := len(h.leftover) + len(h.leftoverRaw)
 	h.mu.Unlock()
-	n += len(h.queue) // frame count, not record count; indicative only
+	n += len(h.core.queue) // frame count, not record count; indicative only
 	return n
 }
 
 // ActiveHolder is the paper's active partition holder: it heads the
 // storage job, receiving frames pushed by computing jobs and actively
 // forwarding them into its own job's dataflow. It is a Source from its
-// job's perspective.
+// job's perspective. See holderCore for the close protocol.
 type ActiveHolder struct {
-	queue chan Frame
-
-	mu     sync.Mutex
-	closed bool
+	core holderCore
 }
 
 // NewActiveHolder returns a holder with the given queue capacity.
 func NewActiveHolder(capacity int) *ActiveHolder {
-	if capacity <= 0 {
-		capacity = 64
-	}
-	return &ActiveHolder{queue: make(chan Frame, capacity)}
+	return &ActiveHolder{core: newHolderCore(capacity)}
 }
 
-// Push delivers a frame from another job (computing jobs call this). It
-// blocks when the queue is full.
+// Push delivers a frame from another job (computing jobs call this),
+// transferring ownership of the frame's slices. It blocks when the
+// queue is full. A Push racing CloseInput either enqueues — and Run is
+// guaranteed to forward the frame before returning — or reports
+// ErrHolderClosed.
 func (h *ActiveHolder) Push(ctx context.Context, f Frame) error {
-	h.mu.Lock()
-	closed := h.closed
-	h.mu.Unlock()
-	if closed {
-		return ErrHolderClosed
-	}
-	select {
-	case h.queue <- f:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return h.core.push(ctx, f)
 }
 
 // CloseInput ends the stream; the owning job's Run drains and returns.
-func (h *ActiveHolder) CloseInput() {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.closed {
-		h.closed = true
-		close(h.queue)
-	}
-}
+func (h *ActiveHolder) CloseInput() { h.core.closeInput() }
 
 // Run implements Source: forward queued frames downstream until the
-// input is closed.
+// input is closed, then drain what remains (including pushes still in
+// flight at close time).
 func (h *ActiveHolder) Run(tc *TaskContext, out Writer) error {
 	if err := out.Open(); err != nil {
 		return err
 	}
 	for {
 		select {
-		case f, ok := <-h.queue:
-			if !ok {
-				return nil
-			}
+		case f := <-h.core.queue:
 			if err := out.Push(f); err != nil {
 				return err
+			}
+		case <-h.core.done:
+			for {
+				f, ok := h.core.recvAfterClose()
+				if !ok {
+					return nil
+				}
+				if err := out.Push(f); err != nil {
+					return err
+				}
 			}
 		case <-tc.Ctx.Done():
 			return tc.Ctx.Err()

@@ -1,0 +1,116 @@
+package hyracks
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestPushFrameCloseInputRace is the regression test for the
+// send-on-closed-channel panic: the old PassiveHolder checked closed
+// under the mutex, released it, then sent, so a concurrent CloseInput
+// could close the queue channel in between. Hammer pushes against
+// closes; every push must either enqueue or report ErrHolderClosed, and
+// nothing may panic. Run with -race.
+func TestPushFrameCloseInputRace(t *testing.T) {
+	ctx := context.Background()
+	for iter := 0; iter < 200; iter++ {
+		h := NewPassiveHolder(4)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		pushed := make(chan int, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				n := 0
+				for i := 0; i < 50; i++ {
+					err := h.PushFrame(ctx, Frame{Records: intRecords(1)})
+					if err == nil {
+						n++
+						continue
+					}
+					if !errors.Is(err, ErrHolderClosed) {
+						t.Errorf("PushFrame: %v", err)
+						return
+					}
+					break
+				}
+				pushed <- n
+			}()
+		}
+		// Drain concurrently so pushes are not just blocked on a full
+		// queue, maximizing interleavings with the close.
+		drained := make(chan int)
+		go func() {
+			total := 0
+			for {
+				recs, eof, err := h.PullBatch(ctx, 16)
+				if err != nil {
+					t.Errorf("PullBatch: %v", err)
+					break
+				}
+				total += len(recs)
+				if eof {
+					break
+				}
+			}
+			drained <- total
+		}()
+		close(start)
+		h.CloseInput()
+		wg.Wait()
+		close(pushed)
+		want := 0
+		for n := range pushed {
+			want += n
+		}
+		got := <-drained
+		if got != want {
+			t.Fatalf("iter %d: drained %d records before EOF, want %d (successful pushes)", iter, got, want)
+		}
+		// EOF is a guarantee: nothing may surface after it.
+		if recs, _, err := h.PullBatch(ctx, 16); err != nil || len(recs) != 0 {
+			t.Fatalf("iter %d: %d records appeared after EOF (err=%v)", iter, len(recs), err)
+		}
+	}
+}
+
+// TestActiveHolderPushCloseRace is the same hammer for ActiveHolder,
+// which had the identical unlock-then-send window.
+func TestActiveHolderPushCloseRace(t *testing.T) {
+	ctx := context.Background()
+	for iter := 0; iter < 200; iter++ {
+		h := NewActiveHolder(4)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					if err := h.Push(ctx, Frame{Records: intRecords(1)}); err != nil {
+						if !errors.Is(err, ErrHolderClosed) {
+							t.Errorf("Push: %v", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		done := make(chan error, 1)
+		go func() {
+			tc := &TaskContext{Ctx: ctx}
+			done <- h.Run(tc, Discard)
+		}()
+		close(start)
+		h.CloseInput()
+		wg.Wait()
+		if err := <-done; err != nil {
+			t.Fatalf("iter %d: Run: %v", iter, err)
+		}
+	}
+}

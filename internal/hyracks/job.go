@@ -354,17 +354,26 @@ func (w *connectorWriter) Push(f Frame) error {
 		w.rr++
 		return w.send(t, f)
 	case Broadcast:
+		// Each target shares the frame; mark it so no consumer recycles
+		// the backing arrays out from under the others.
+		f.Shared = true
 		for t := range w.targets {
-			// Each target shares the frame; frames are read-only by
-			// convention.
 			if err := w.send(t, f); err != nil {
 				return err
 			}
 		}
 		return nil
 	default: // HashPartition
+		if len(f.Raw) > 0 {
+			// Hash routing keys off parsed records; forwarding would
+			// break partitioning and dropping would lose data.
+			return fmt.Errorf("hyracks: raw-lane frame reached hash connector; parse records first")
+		}
 		for _, rec := range f.Records {
 			t := int(w.spec.hashKey(rec) % uint64(len(w.targets)))
+			if w.buffers[t] == nil {
+				w.buffers[t] = GetRecordSlice(w.capacity)
+			}
 			w.buffers[t] = append(w.buffers[t], rec)
 			if len(w.buffers[t]) >= w.capacity {
 				if err := w.flushTarget(t); err != nil {
@@ -380,6 +389,9 @@ func (w *connectorWriter) Push(f Frame) error {
 				return err
 			}
 		}
+		// The input frame's records have all been copied into per-target
+		// buffers; its spine goes back to the pool.
+		RecycleFrame(f)
 		return nil
 	}
 }

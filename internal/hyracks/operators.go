@@ -1,6 +1,7 @@
 package hyracks
 
 import (
+	"errors"
 	"sync"
 
 	"github.com/ideadb/idea/internal/adm"
@@ -17,17 +18,27 @@ func (m *MapPipe) Open(*TaskContext, Writer) error { return nil }
 
 // Push implements Pipe.
 func (m *MapPipe) Push(_ *TaskContext, f Frame, out Writer) error {
-	outRecs := make([]adm.Value, 0, len(f.Records))
+	if len(f.Raw) > 0 {
+		// Dropping unparsed records silently would be data loss; raw
+		// frames must go through a parser before any record operator.
+		return errors.New("hyracks: raw-lane frame reached MapPipe; parse records first")
+	}
+	outRecs := GetRecordSlice(len(f.Records))
 	for _, rec := range f.Records {
 		v, keep, err := m.Fn(rec)
 		if err != nil {
+			PutRecordSlice(outRecs)
+			RecycleFrame(f)
 			return err
 		}
 		if keep {
 			outRecs = append(outRecs, v)
 		}
 	}
+	// Input values are copied (or dropped); the input spine is done.
+	RecycleFrame(f)
 	if len(outRecs) == 0 {
+		PutRecordSlice(outRecs)
 		return nil
 	}
 	return out.Push(Frame{Records: outRecs})
@@ -96,6 +107,7 @@ func (c *Collector) Sink() *SinkPipe {
 		c.mu.Lock()
 		c.recs = append(c.recs, f.Records...)
 		c.mu.Unlock()
+		RecycleFrame(f)
 		return nil
 	}}
 }
