@@ -4,7 +4,7 @@ package idea
 // each wrapping the corresponding experiment runner at a reduced scale so
 // `go test -bench=.` finishes in minutes. For paper-shaped sweeps and
 // bigger scales use `go run ./cmd/ideabench -experiment <id> -scale ...`;
-// EXPERIMENTS.md records measured results and compares them with the
+// PERFORMANCE.md records measured hot-path results and compares the
 // paper's findings.
 //
 // Scale knobs: IDEA_BENCH_SCALE and IDEA_BENCH_TWEETS environment
@@ -131,7 +131,7 @@ func BenchmarkFig31ComplexScaleOut(b *testing.B) {
 	runExperiment(b, "fig31", opts)
 }
 
-// BenchmarkAblationStaticVsDynamic — DESIGN.md ablation 1: frozen vs
+// BenchmarkAblationStaticVsDynamic — docs/ARCHITECTURE.md ablation 1: frozen vs
 // per-batch-refreshed enrichment state.
 func BenchmarkAblationStaticVsDynamic(b *testing.B) {
 	opts := benchOptions(b)
@@ -139,7 +139,7 @@ func BenchmarkAblationStaticVsDynamic(b *testing.B) {
 	runExperiment(b, "ablation-static", opts)
 }
 
-// BenchmarkAblationPredeployed — DESIGN.md ablation 2: predeployed jobs
+// BenchmarkAblationPredeployed — docs/ARCHITECTURE.md ablation 2: predeployed jobs
 // vs recompile-per-batch.
 func BenchmarkAblationPredeployed(b *testing.B) {
 	opts := benchOptions(b)
@@ -147,7 +147,7 @@ func BenchmarkAblationPredeployed(b *testing.B) {
 	runExperiment(b, "ablation-predeploy", opts)
 }
 
-// BenchmarkAblationDecoupled — DESIGN.md ablation 3: decoupled pipeline
+// BenchmarkAblationDecoupled — docs/ARCHITECTURE.md ablation 3: decoupled pipeline
 // vs fused insert job.
 func BenchmarkAblationDecoupled(b *testing.B) {
 	opts := benchOptions(b)
@@ -155,7 +155,7 @@ func BenchmarkAblationDecoupled(b *testing.B) {
 	runExperiment(b, "ablation-decoupled", opts)
 }
 
-// BenchmarkAblationQueueCapacity — DESIGN.md ablation 4: partition-
+// BenchmarkAblationQueueCapacity — docs/ARCHITECTURE.md ablation 4: partition-
 // holder queue bounds.
 func BenchmarkAblationQueueCapacity(b *testing.B) {
 	opts := benchOptions(b)

@@ -1,0 +1,104 @@
+// Command linkcheck guards the documentation against rot: it walks a
+// directory tree, extracts every markdown link from every *.md file,
+// and fails when a relative link points at a file that does not exist.
+// CI runs it over the repository root (the docs job), so a renamed or
+// deleted document breaks the build instead of silently orphaning its
+// references.
+//
+// External links (http/https/mailto) are not fetched — the check is
+// offline and deterministic. Anchors are stripped before the existence
+// check, so README.md#quickstart validates README.md.
+//
+// Usage:
+//
+//	linkcheck [dir]
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Images and
+// reference-style definitions are rare in this repo; inline links are
+// the form the docs use.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	checked := 0
+	files := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		files++
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRe.FindAllSubmatch(data, -1) {
+			target := string(m[1])
+			if !checkable(target) {
+				continue
+			}
+			checked++
+			if !exists(path, target) {
+				fmt.Fprintf(os.Stderr, "%s: broken link: %s\n", path, target)
+				broken++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("linkcheck: %d files, %d relative links, %d broken\n", files, checked, broken)
+	if broken > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkable reports whether target is a relative filesystem link this
+// tool can verify offline.
+func checkable(target string) bool {
+	switch {
+	case strings.Contains(target, "://"), // http:, https:, etc.
+		strings.HasPrefix(target, "mailto:"),
+		strings.HasPrefix(target, "#"): // same-file anchor
+		return false
+	}
+	return true
+}
+
+// exists resolves target relative to the markdown file that contains it
+// and checks the filesystem (anchor stripped).
+func exists(mdFile, target string) bool {
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	if target == "" {
+		return true
+	}
+	_, err := os.Stat(filepath.Join(filepath.Dir(mdFile), target))
+	return err == nil
+}

@@ -7,7 +7,8 @@
 // ingest live data through the paper's decoupled intake / computing /
 // storage pipeline, whose per-batch state refresh lets stateful
 // enrichment observe reference-data updates. See README.md for a
-// walkthrough and DESIGN.md for the architecture.
+// walkthrough and docs/ARCHITECTURE.md for the architecture and the
+// frame/arena ownership model.
 package idea
 
 import (
@@ -86,15 +87,39 @@ func (c *Cluster) Nodes() int { return c.inner.NumNodes() }
 // FeedSource supplies raw records to a feed: Run emits one record per
 // call until the source is exhausted or ctx is canceled; emit blocks for
 // backpressure. It is the public face of the paper's feed adapter.
+//
+// Emitted bytes travel the pipeline zero-copy: the feed retains each
+// slice until the record has been parsed, so Run must hand every emit
+// call its own slice (or one it will never mutate again). A source that
+// instead reuses a read buffer across emits must also implement
+// VolatileFeedSource, and the feed will copy each emit into a pooled
+// per-frame arena.
 type FeedSource interface {
 	Run(ctx context.Context, emit func(record []byte) error) error
 }
 
-// sourceAdapter bridges FeedSource to the internal adapter interface.
+// VolatileFeedSource marks a FeedSource whose emitted slices are valid
+// only for the duration of the emit call (a recycled read buffer).
+type VolatileFeedSource interface {
+	FeedSource
+	// VolatileEmits reports that emitted bytes must be copied before
+	// the emit call returns.
+	VolatileEmits() bool
+}
+
+// sourceAdapter bridges FeedSource to the internal adapter interface,
+// forwarding the volatility declaration when the source makes one.
 type sourceAdapter struct{ src FeedSource }
 
 func (a sourceAdapter) Run(ctx context.Context, emit func([]byte) error) error {
 	return a.src.Run(ctx, emit)
+}
+
+func (a sourceAdapter) VolatileEmits() bool {
+	if v, ok := a.src.(VolatileFeedSource); ok {
+		return v.VolatileEmits()
+	}
+	return false
 }
 
 // RecordsSource replays a fixed record slice (bulk generators, tests).

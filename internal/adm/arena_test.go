@@ -1,0 +1,219 @@
+package adm
+
+import (
+	"testing"
+)
+
+// TestArenaParsing: values parsed into an arena must read back exactly
+// like heap-parsed values, across strings, nested objects, arrays,
+// escapes (which fall back to heap), and field names.
+func TestArenaParsing(t *testing.T) {
+	doc := []byte(`{"id":42,"text":"plain body","esc":"a\nb","user":{"name":"ann","tags":["x","y"]},"n":1.5}`)
+	want, err := ParseJSON(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewParser()
+	a := NewArena(256)
+	spine, err := p.ParseInto(doc, nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := spine[0]
+	if Compare(got, want) != 0 {
+		t.Fatalf("arena parse mismatch:\n got %v\nwant %v", got, want)
+	}
+	if !got.ArenaBacked() {
+		t.Fatal("arena-parsed object not flagged arena-backed")
+	}
+	if !got.Field("text").ArenaBacked() {
+		t.Fatal("clean string should be an arena view")
+	}
+	if got.Field("esc").ArenaBacked() {
+		t.Fatal("escape-decoded string should fall back to the heap")
+	}
+	// Stateless arena parse: field names are arena views too.
+	spine2, err := ParseJSONInto(doc, nil, NewArena(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Compare(spine2[0], want) != 0 {
+		t.Fatal("stateless arena parse mismatch")
+	}
+	if !spine2[0].ObjectVal().arenaNames {
+		t.Fatal("stateless arena parse should flag arena names")
+	}
+	// Interning parser: names are canonical heap strings.
+	if got.ObjectVal().arenaNames {
+		t.Fatal("interning parser should keep names off the arena")
+	}
+}
+
+// TestArenaReset: resetting an arena invalidates the views parsed into
+// it — the next record's bytes overwrite them. This pins down the
+// aliasing that makes Materialize necessary (if this test ever fails
+// because views stopped aliasing, the zero-allocation claim broke too).
+func TestArenaReset(t *testing.T) {
+	p := NewParser()
+	a := NewArena(64)
+	spine, err := p.ParseInto([]byte(`{"text":"AAAA"}`), nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := spine[0].Field("text")
+	a.Reset()
+	if _, err := p.ParseInto([]byte(`{"text":"BBBB"}`), nil, a); err != nil {
+		t.Fatal(err)
+	}
+	if got := stale.StringVal(); got != "BBBB" {
+		t.Fatalf("stale view reads %q; expected it to alias the overwritten arena bytes (BBBB)", got)
+	}
+}
+
+// TestMaterialize: a materialized value shares no memory with the arena
+// — it must survive the arena being reset and overwritten.
+func TestMaterialize(t *testing.T) {
+	doc := []byte(`{"id":1,"text":"keep me","user":{"name":"ann"},"tags":["a","b"]}`)
+	p := NewParser()
+	a := NewArena(128)
+	spine, err := p.ParseInto(doc, nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ParseJSON(doc) // heap reference copy
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spine[0].Materialize()
+	a.Reset()
+	if _, err := p.ParseInto([]byte(`{"id":9,"text":"clobber!","user":{"name":"zzz"},"tags":["q","r"]}`), nil, a); err != nil {
+		t.Fatal(err)
+	}
+	if Compare(m, want) != 0 {
+		t.Fatalf("materialized value corrupted by arena reuse:\n got %v\nwant %v", m, want)
+	}
+	if m.ArenaBacked() || m.Field("text").ArenaBacked() {
+		t.Fatal("materialized value still flagged arena-backed")
+	}
+}
+
+// TestMaterializeStatelessNames: with no interning parser, field names
+// are arena views and must be cloned on materialize.
+func TestMaterializeStatelessNames(t *testing.T) {
+	a := NewArena(64)
+	spine, err := ParseJSONInto([]byte(`{"alpha":1}`), nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spine[0].Materialize()
+	a.Reset()
+	if _, err := ParseJSONInto([]byte(`{"omega":2}`), nil, a); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ObjectVal().Name(0); got != "alpha" {
+		t.Fatalf("materialized field name = %q, want alpha", got)
+	}
+}
+
+// TestMaterializeHeapIdentity: heap values materialize to themselves —
+// same object pointer, no allocation.
+func TestMaterializeHeapIdentity(t *testing.T) {
+	v, err := ParseJSON([]byte(`{"id":1,"text":"heap","arr":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.Materialize()
+	if m.ObjectVal() != v.ObjectVal() {
+		t.Fatal("materializing a heap value should be the identity")
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = v.Materialize() }); allocs != 0 {
+		t.Fatalf("materializing a heap value allocated %v times", allocs)
+	}
+	// A heap container holding an arena child must still be rebuilt —
+	// the walk cannot trust container flags.
+	a := NewArena(64)
+	spine, err := NewParser().ParseInto([]byte(`"arena leaf"`), nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := ObjectValue(ObjectFromPairs("leaf", spine[0]))
+	if wrapped.ArenaBacked() {
+		t.Fatal("hand-built container should not report arena-backed (shallow check)")
+	}
+	mw := wrapped.Materialize()
+	if mw.Field("leaf").ArenaBacked() {
+		t.Fatal("materialize missed an arena leaf inside a heap container")
+	}
+}
+
+// TestArenaStringZeroAllocs is the acceptance gate for the arena path:
+// parsing a warmed string value into an arena must not allocate at all.
+func TestArenaStringZeroAllocs(t *testing.T) {
+	p := NewParser()
+	a := NewArena(1024)
+	doc := []byte(`"string values should cost zero allocations on the arena path"`)
+	spine := make([]Value, 0, 8)
+	parse := func() {
+		a.Reset()
+		spine = spine[:0]
+		var err error
+		spine, err = p.ParseInto(doc, spine, a)
+		if err != nil || spine[0].Kind() != KindString {
+			t.Fatalf("parse failed: %v %v", err, spine)
+		}
+	}
+	parse() // warm the arena's byte buffer
+	if allocs := testing.AllocsPerRun(200, parse); allocs != 0 {
+		t.Fatalf("arena string parse allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestArenaRecordZeroAllocs extends the budget to a whole record shaped
+// like the feed benchmark's (nested object, strings, ints, no arrays):
+// after warmup the entire record parses with zero allocations.
+func TestArenaRecordZeroAllocs(t *testing.T) {
+	p := NewParser()
+	a := NewArena(4096)
+	doc := []byte(`{"id":184756,"text":"benchmark tweet with some padding text","lang":"en","user":{"id":99,"screen_name":"bench","followers_count":1024}}`)
+	spine := make([]Value, 0, 8)
+	parse := func() {
+		a.Reset()
+		spine = spine[:0]
+		var err error
+		spine, err = p.ParseInto(doc, spine, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm: intern table, size hints, arena slabs.
+	for i := 0; i < 4; i++ {
+		parse()
+	}
+	if allocs := testing.AllocsPerRun(200, parse); allocs != 0 {
+		t.Fatalf("arena record parse allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestArenaTweetBudget bounds the full paper-shaped tweet (which has a
+// coordinates array — array spines still come from the heap): tiny
+// fixed budget instead of zero.
+func TestArenaTweetBudget(t *testing.T) {
+	p := NewParser()
+	a := NewArena(4096)
+	spine := make([]Value, 0, 8)
+	parse := func() {
+		a.Reset()
+		spine = spine[:0]
+		var err error
+		spine, err = p.ParseInto(tweetJSON, spine, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		parse()
+	}
+	if allocs := testing.AllocsPerRun(100, parse); allocs > 4 {
+		t.Fatalf("arena tweet parse allocated %v times per run, budget 4", allocs)
+	}
+}

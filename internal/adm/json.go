@@ -29,6 +29,10 @@ type jsonParser struct {
 	// owner, when non-nil, supplies the field-name intern table and
 	// object size hints of a reusable Parser.
 	owner *Parser
+	// arena, when non-nil, receives string payloads, objects, and field
+	// spines: parsed values reference arena memory instead of owning
+	// heap allocations (see Arena for the lifetime contract).
+	arena *Arena
 }
 
 func (p *jsonParser) parseDocument() (Value, error) {
@@ -69,11 +73,7 @@ func (p *jsonParser) parseValue() (Value, error) {
 	case c == '[':
 		return p.parseArray()
 	case c == '"':
-		s, err := p.parseString()
-		if err != nil {
-			return Value{}, err
-		}
-		return String(s), nil
+		return p.parseStringValue()
 	case c == 't':
 		if err := p.expect("true"); err != nil {
 			return Value{}, err
@@ -112,7 +112,12 @@ func (p *jsonParser) parseObject() (Value, error) {
 	if p.owner != nil {
 		hint = p.owner.hint(depth)
 	}
-	obj := NewObject(hint)
+	var obj *Object
+	if p.arena != nil {
+		obj = p.arena.newObject(hint)
+	} else {
+		obj = NewObject(hint)
+	}
 	p.skipSpace()
 	if p.pos < len(p.data) && p.data[p.pos] == '}' {
 		p.pos++
@@ -124,9 +129,12 @@ func (p *jsonParser) parseObject() (Value, error) {
 		if p.pos >= len(p.data) || p.data[p.pos] != '"' {
 			return Value{}, p.errorf("expected object key string")
 		}
-		key, err := p.parseKey()
+		key, keyInArena, err := p.parseKey()
 		if err != nil {
 			return Value{}, err
+		}
+		if keyInArena {
+			obj.arenaNames = true
 		}
 		p.skipSpace()
 		if p.pos >= len(p.data) || p.data[p.pos] != ':' {
@@ -159,10 +167,13 @@ func (p *jsonParser) parseObject() (Value, error) {
 	}
 }
 
-// parseKey parses an object field name. Escape-free names (the common
-// case by far) are interned straight from the input bytes without an
-// intermediate allocation.
-func (p *jsonParser) parseKey() (string, error) {
+// parseKey parses an object field name; inArena reports that the
+// returned string views arena bytes. Escape-free names (the common case
+// by far) are interned straight from the input bytes without an
+// intermediate allocation; an interning Parser wins over the arena
+// because its canonical names are stable heap strings shared across
+// records, so they never need materializing.
+func (p *jsonParser) parseKey() (key string, inArena bool, err error) {
 	start := p.pos + 1
 	for i := start; i < len(p.data); i++ {
 		c := p.data[i]
@@ -170,9 +181,12 @@ func (p *jsonParser) parseKey() (string, error) {
 			b := p.data[start:i]
 			p.pos = i + 1
 			if p.owner != nil {
-				return p.owner.internBytes(b), nil
+				return p.owner.internBytes(b), false, nil
 			}
-			return string(b), nil
+			if p.arena != nil {
+				return p.arena.appendView(b), true, nil
+			}
+			return string(b), false, nil
 		}
 		if c == '\\' || c < 0x20 {
 			break
@@ -180,12 +194,38 @@ func (p *jsonParser) parseKey() (string, error) {
 	}
 	s, err := p.parseString()
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
 	if p.owner != nil {
-		return p.owner.internString(s), nil
+		return p.owner.internString(s), false, nil
 	}
-	return s, nil
+	return s, false, nil
+}
+
+// parseStringValue parses a JSON string into a Value. Escape-free
+// strings parsed with an arena become zero-allocation views of arena
+// memory; everything else falls back to a heap string.
+func (p *jsonParser) parseStringValue() (Value, error) {
+	start := p.pos + 1
+	for i := start; i < len(p.data); i++ {
+		c := p.data[i]
+		if c == '"' {
+			b := p.data[start:i]
+			p.pos = i + 1
+			if p.arena != nil {
+				return p.arena.stringValue(b), nil
+			}
+			return String(string(b)), nil
+		}
+		if c == '\\' || c < 0x20 {
+			break
+		}
+	}
+	s, err := p.parseString()
+	if err != nil {
+		return Value{}, err
+	}
+	return String(s), nil
 }
 
 func (p *jsonParser) parseArray() (Value, error) {

@@ -19,7 +19,7 @@ func BenchmarkParseJSON(b *testing.B) {
 }
 
 // BenchmarkParseJSONParser exercises the reusable Parser: interned field
-// names and size-hinted objects, the configuration the feed hot path
+// names and size-hinted objects, the configuration the static pipeline
 // runs with.
 func BenchmarkParseJSONParser(b *testing.B) {
 	p := NewParser()
@@ -27,6 +27,26 @@ func BenchmarkParseJSONParser(b *testing.B) {
 	b.SetBytes(int64(len(tweetJSON)))
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Parse(tweetJSON); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseJSONParserArena is the dynamic feed's hot-path
+// configuration: an interning Parser writing string payloads, objects,
+// and field spines into a reusable byte arena, so a warmed record
+// parses with (amortized) zero per-value allocations.
+func BenchmarkParseJSONParserArena(b *testing.B) {
+	p := NewParser()
+	a := NewArena(4096)
+	spine := make([]Value, 0, 8)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(tweetJSON)))
+	for i := 0; i < b.N; i++ {
+		a.Reset()
+		spine = spine[:0]
+		var err error
+		if spine, err = p.ParseInto(tweetJSON, spine, a); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,18 @@
 // LSM storage partitions persist them. A Value is an immutable-by-
 // convention tagged union; Objects are ordered field collections that may
 // carry fields beyond their declared Datatype ("open" records).
+//
+// # Arenas
+//
+// On the feed hot path, values are parsed into an Arena: string
+// payloads, object structs, and field spines reference frame-scoped
+// slabs instead of individual heap allocations, so a warmed record
+// parses with zero allocations. Arena-backed values are valid only
+// while their arena is live and un-Reset; Value.Materialize copies one
+// out before it escapes that lifetime. The Arena type documents the
+// contract; the internal/hyracks package comment states the frame-level
+// ownership rules; docs/ARCHITECTURE.md walks through both with
+// examples.
 package adm
 
 // Kind identifies the runtime type of a Value. The order of the

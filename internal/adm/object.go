@@ -1,5 +1,7 @@
 package adm
 
+import "strings"
+
 // Object is an ordered collection of named fields: the ADM record type.
 // Field order is insertion order (matching how AsterixDB lays out closed
 // fields first, then open fields). Lookup is O(1) once the object grows
@@ -9,6 +11,13 @@ type Object struct {
 	names  []string
 	values []Value
 	index  map[string]int // built lazily once len(names) > indexThreshold
+
+	// arena marks an object whose struct and field spines were carved
+	// from an Arena slab; arenaNames marks field-name strings that view
+	// arena bytes. Either way the object is only valid while its arena
+	// lives — Value.Materialize rebuilds flagged objects on copy-out.
+	arena      bool
+	arenaNames bool
 }
 
 const indexThreshold = 8
@@ -98,7 +107,10 @@ func (o *Object) Delete(name string) bool {
 	return true
 }
 
-// Clone returns a deep copy of the object.
+// Clone returns a deep copy of the object. The copy's struct and spines
+// are heap-allocated, but string payloads (including arena-backed field
+// names) stay shared, so the arenaNames marker carries over; use
+// Value.Materialize to sever an object from its arena entirely.
 func (o *Object) Clone() *Object {
 	c := NewObject(len(o.names))
 	c.names = append(c.names, o.names...)
@@ -106,6 +118,7 @@ func (o *Object) Clone() *Object {
 	for i, v := range o.values {
 		c.values[i] = v.Clone()
 	}
+	c.arenaNames = o.arenaNames
 	if len(c.names) > indexThreshold {
 		c.buildIndex()
 	}
@@ -117,13 +130,52 @@ func (o *Object) Clone() *Object {
 // "SELECT t.*, extra" output without deep-copying the input record.
 func (o *Object) CopyShallow() *Object {
 	c := &Object{
-		names:  append([]string(nil), o.names...),
-		values: append([]Value(nil), o.values...),
+		names:      append([]string(nil), o.names...),
+		values:     append([]Value(nil), o.values...),
+		arenaNames: o.arenaNames,
 	}
 	if len(c.names) > indexThreshold {
 		c.buildIndex()
 	}
 	return c
+}
+
+// materialize returns an arena-free copy of the object, or (o, false)
+// when neither the object nor anything it reaches touches an arena.
+func (o *Object) materialize() (*Object, bool) {
+	changed := o.arena || o.arenaNames
+	var vals []Value
+	for i, v := range o.values {
+		m, ch := v.materialize()
+		if (ch || changed) && vals == nil {
+			vals = make([]Value, len(o.values))
+			copy(vals, o.values[:i])
+		}
+		if vals != nil {
+			vals[i] = m
+		}
+		changed = changed || ch
+	}
+	if !changed {
+		return o, false
+	}
+	c := &Object{names: make([]string, len(o.names))}
+	if o.arenaNames {
+		for i, n := range o.names {
+			c.names[i] = strings.Clone(n)
+		}
+	} else {
+		copy(c.names, o.names)
+	}
+	if vals == nil {
+		vals = make([]Value, len(o.values))
+		copy(vals, o.values)
+	}
+	c.values = vals
+	if len(c.names) > indexThreshold {
+		c.buildIndex()
+	}
+	return c, true
 }
 
 func (o *Object) find(name string) int {

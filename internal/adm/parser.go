@@ -50,11 +50,17 @@ func (pp *Parser) Parse(data []byte) (Value, error) {
 }
 
 // ParseInto parses one JSON value and appends it to dst, the
-// caller-owned arena of values (typically a pooled frame-record slice),
-// returning the extended slice. On a parse error dst is returned
-// unchanged.
-func (pp *Parser) ParseInto(data []byte, dst []Value) ([]Value, error) {
-	v, err := pp.Parse(data)
+// caller-owned record spine (typically a pooled frame slice), returning
+// the extended slice. When arena is non-nil, string payloads, objects,
+// and field spines are carved from it instead of the heap, making the
+// parsed value arena-backed: valid only while the arena lives un-Reset,
+// and requiring Value.Materialize before escaping that lifetime. A nil
+// arena keeps the old heap behavior. On a parse error dst is returned
+// unchanged (the arena may still have grown; wasted bytes are reclaimed
+// at the next Reset).
+func (pp *Parser) ParseInto(data []byte, dst []Value, arena *Arena) ([]Value, error) {
+	p := jsonParser{data: data, owner: pp, arena: arena}
+	v, err := p.parseDocument()
 	if err != nil {
 		return dst, err
 	}
@@ -62,9 +68,11 @@ func (pp *Parser) ParseInto(data []byte, dst []Value) ([]Value, error) {
 }
 
 // ParseJSONInto is ParseInto without parser state: it parses data and
-// appends the result to the caller-owned dst.
-func ParseJSONInto(data []byte, dst []Value) ([]Value, error) {
-	v, err := ParseJSON(data)
+// appends the result to the caller-owned dst, writing string bytes into
+// the caller's arena when one is supplied.
+func ParseJSONInto(data []byte, dst []Value, arena *Arena) ([]Value, error) {
+	p := jsonParser{data: data, arena: arena}
+	v, err := p.parseDocument()
 	if err != nil {
 		return dst, err
 	}

@@ -109,28 +109,36 @@ func TestParserInternBound(t *testing.T) {
 	}
 }
 
-// TestParseInto: the arena-append forms must extend the caller's slice.
+// TestParseInto: the spine-append forms must extend the caller's slice,
+// with or without a byte arena.
 func TestParseInto(t *testing.T) {
 	p := NewParser()
-	arena := make([]Value, 0, 4)
+	spine := make([]Value, 0, 4)
 	var err error
-	arena, err = p.ParseInto([]byte(`{"id":1}`), arena)
+	spine, err = p.ParseInto([]byte(`{"id":1}`), spine, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	arena, err = ParseJSONInto([]byte(`{"id":2}`), arena)
+	spine, err = ParseJSONInto([]byte(`{"id":2}`), spine, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(arena) != 2 {
-		t.Fatalf("arena has %d values, want 2", len(arena))
+	a := NewArena(64)
+	spine, err = p.ParseInto([]byte(`{"id":3}`), spine, a)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if arena[0].Field("id").IntVal() != 1 || arena[1].Field("id").IntVal() != 2 {
-		t.Fatalf("arena contents wrong: %v", arena)
+	if len(spine) != 3 {
+		t.Fatalf("spine has %d values, want 3", len(spine))
 	}
-	// Errors leave the arena unchanged.
-	if arena, err = p.ParseInto([]byte(`{bad`), arena); err == nil || len(arena) != 2 {
-		t.Fatalf("ParseInto on bad input: err=%v len=%d", err, len(arena))
+	for i, want := range []int64{1, 2, 3} {
+		if spine[i].Field("id").IntVal() != want {
+			t.Fatalf("spine contents wrong: %v", spine)
+		}
+	}
+	// Errors leave the spine unchanged.
+	if spine, err = p.ParseInto([]byte(`{bad`), spine, nil); err == nil || len(spine) != 3 {
+		t.Fatalf("ParseInto on bad input: err=%v len=%d", err, len(spine))
 	}
 }
 

@@ -2,8 +2,8 @@
 // framework runs on: one Cluster Controller (metadata catalog,
 // predeployed-job registry, job dispatch) plus N Node Controllers (each
 // owning a partition-holder manager and one storage partition per
-// dataset). Nodes are in-process — see DESIGN.md for why the simulation
-// preserves the paper's experimental shapes.
+// dataset). Nodes are in-process — see docs/ARCHITECTURE.md for why the
+// simulation preserves the paper's experimental shapes.
 package cluster
 
 import (

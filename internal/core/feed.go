@@ -43,7 +43,7 @@ type Config struct {
 
 	// RecompilePerBatch disables the predeployed-job optimization: every
 	// invocation re-runs UDF compilation and pays full dispatch overhead
-	// (ablation 2 in DESIGN.md).
+	// (ablation 2 in docs/ARCHITECTURE.md).
 	RecompilePerBatch bool
 	// FusedInsert disables the decoupled pipeline: each invocation is a
 	// single insert job whose UDF evaluation and storage write run
@@ -278,6 +278,14 @@ func (f *Feed) buildIntakeSpec() (*hyracks.JobSpec, error) {
 	spec := hyracks.NewJobSpec()
 	spec.QueueCapacity = f.cluster.Tuning().HolderCapacity
 	cfg := f.cfg
+	// The collector consumes whole frames (PullFrames never splits one,
+	// so arenas travel intact), which makes the intake frame size the
+	// batch-size granularity: cap it at the per-node quota so a small
+	// BatchSize still yields small, frequent computing-job batches.
+	intakeCap := f.frameCap
+	if f.quota < intakeCap {
+		intakeCap = f.quota
+	}
 	adapterOp := spec.AddOperator(&hyracks.Descriptor{
 		Name:        "adapter",
 		Parallelism: len(cfg.IntakeNodes),
@@ -291,11 +299,18 @@ func (f *Feed) buildIntakeSpec() (*hyracks.JobSpec, error) {
 				if err := out.Open(); err != nil {
 					return err
 				}
-				b := hyracks.NewFrameBuilder(f.frameCap, out)
+				b := hyracks.NewFrameBuilder(intakeCap, out)
 				// Raw record bytes ride the frame's raw lane untouched —
 				// no string wrapping, no copy; the collector's parser
-				// reads them directly.
-				err := adapter.Run(f.adaptCtx, b.AddRaw)
+				// reads them directly. Adapters that recycle their read
+				// buffer (VolatileEmits) get staged into the frame's
+				// pooled line arena instead: still no per-record
+				// allocation, just one memcpy.
+				emit := b.AddRaw
+				if v, ok := adapter.(VolatileAdapter); ok && v.VolatileEmits() {
+					emit = b.AddRawCopy
+				}
+				err := adapter.Run(f.adaptCtx, emit)
 				if err != nil && !(errors.Is(err, context.Canceled) && f.adaptCtx.Err() != nil) {
 					return err
 				}
@@ -343,9 +358,10 @@ func (f *Feed) buildStorageSpec() *hyracks.JobSpec {
 					}
 					part.WAL().Commit() // group commit per frame
 					f.stats.Stored.Add(int64(fr.Len()))
-					// The WAL commit makes the batch durable; the frame's
-					// spine can go back to the pool.
-					hyracks.RecycleFrame(fr)
+					// The WAL commit makes the batch durable. Storage
+					// retains the records, so only the spines recycle;
+					// the frame's arena stays alive through them.
+					hyracks.RecycleFrameSpines(fr)
 					return nil
 				},
 			}, nil
@@ -425,49 +441,97 @@ func (f *Feed) buildComputeSpec() *hyracks.JobSpec {
 				if f.eof[p].Load() {
 					return nil
 				}
-				raws, eof, err := f.intakeHolders[p].PullRawBatch(tc.Ctx, f.quota)
+				// Pull whole frames: nothing is copied out of them and
+				// each input frame's arena (the socket adapter's line
+				// bytes) stays attached until its records are parsed.
+				frames, eof, err := f.intakeHolders[p].PullFrames(tc.Ctx, f.quota)
 				if err != nil {
 					return err
 				}
-				defer hyracks.PutRawSlice(raws)
 				if eof {
 					f.eof[p].Store(true)
 				}
-				// Parse straight into a pooled arena that becomes the
-				// outgoing frame: ParseInto appends each record to the
-				// caller-owned slice, so there is no per-record staging.
+				// Parse straight into a pooled record spine + byte
+				// arena that together become the outgoing frame:
+				// ParseInto appends each record to the caller-owned
+				// spine and writes string/object payloads into the
+				// caller's arena, so a record costs no per-value
+				// allocations.
 				parser := f.parsers[p]
-				arena := hyracks.GetRecordSlice(f.frameCap)
-				for _, raw := range raws {
-					n := len(arena)
-					var perr error
-					arena, perr = parser.ParseInto(raw, arena)
-					if perr != nil {
-						f.stats.ParseErrors.Add(1)
-						continue
+				spine := hyracks.GetRecordSlice(f.frameCap)
+				arena := hyracks.GetArena()
+				emit := func(rec adm.Value) error {
+					spine = append(spine, rec)
+					inv.records.Add(1)
+					if len(spine) < f.frameCap {
+						return nil
 					}
-					if f.dt != nil {
-						v, verr := f.dt.Validate(arena[n])
-						if verr != nil {
-							arena = arena[:n]
+					// Push transfers spine+arena ownership even when it
+					// fails; draw replacements only on success so a
+					// failed batch doesn't strand fresh pool objects.
+					if err := out.Push(hyracks.Frame{Records: spine, Arena: arena}); err != nil {
+						spine, arena = nil, nil
+						return err
+					}
+					spine = hyracks.GetRecordSlice(f.frameCap)
+					arena = hyracks.GetArena()
+					return nil
+				}
+				for _, fr := range frames {
+					for _, raw := range fr.Raw {
+						n := len(spine)
+						var perr error
+						spine, perr = parser.ParseInto(raw, spine, arena)
+						if perr != nil {
 							f.stats.ParseErrors.Add(1)
 							continue
 						}
-						arena[n] = v
-					}
-					inv.records.Add(1)
-					if len(arena) >= f.frameCap {
-						if err := out.Push(hyracks.Frame{Records: arena}); err != nil {
+						rec := spine[n]
+						spine = spine[:n]
+						if f.dt != nil {
+							v, verr := f.dt.Validate(rec)
+							if verr != nil {
+								f.stats.ParseErrors.Add(1)
+								continue
+							}
+							rec = v
+						}
+						if err := emit(rec); err != nil {
 							return err
 						}
-						arena = hyracks.GetRecordSlice(f.frameCap)
+					}
+					// Parsed (record-lane) frames reaching the intake
+					// holder are forwarded record by record too; their
+					// headers keep referencing the input frame's arena,
+					// so only its spines recycle. Raw-only frames are
+					// fully consumed by the parse above — strings were
+					// copied into our arena — and recycle completely,
+					// returning the adapter's line arena to the pool.
+					for _, rec := range fr.Records {
+						if f.dt != nil {
+							v, verr := f.dt.Validate(rec)
+							if verr != nil {
+								f.stats.ParseErrors.Add(1)
+								continue
+							}
+							rec = v
+						}
+						if err := emit(rec); err != nil {
+							return err
+						}
+					}
+					if len(fr.Records) > 0 {
+						hyracks.RecycleFrameSpines(fr)
+					} else {
+						hyracks.RecycleFrame(fr)
 					}
 				}
-				if len(arena) == 0 {
-					hyracks.PutRecordSlice(arena)
+				if len(spine) == 0 {
+					hyracks.PutRecordSlice(spine)
+					hyracks.PutArena(arena)
 					return nil
 				}
-				return out.Push(hyracks.Frame{Records: arena})
+				return out.Push(hyracks.Frame{Records: spine, Arena: arena})
 			}), nil
 		},
 	})
@@ -520,7 +584,8 @@ func (f *Feed) buildComputeSpec() *hyracks.JobSpec {
 						}
 						part.WAL().Commit()
 						f.stats.Stored.Add(int64(fr.Len()))
-						hyracks.RecycleFrame(fr)
+						// Records retained by storage: spines only.
+						hyracks.RecycleFrameSpines(fr)
 						return nil
 					},
 				}, nil

@@ -179,7 +179,8 @@ func StartStatic(ctx context.Context, c *cluster.Cluster, cfg Config) (*StaticFe
 					}
 					part.WAL().Commit()
 					sf.stats.Stored.Add(int64(fr.Len()))
-					hyracks.RecycleFrame(fr)
+					// Records retained by storage: spines only.
+					hyracks.RecycleFrameSpines(fr)
 					return nil
 				},
 			}, nil

@@ -154,7 +154,7 @@ func ApproachesComparison(opts Options) (*Table, error) {
 }
 
 // AblationStaticVsDynamic isolates the cost of per-batch state refresh
-// (DESIGN.md ablation 1): the same enrichment evaluated with frozen
+// (docs/ARCHITECTURE.md ablation 1): the same enrichment evaluated with frozen
 // state (static native), refreshed native state, and refreshed SQL++
 // state.
 func AblationStaticVsDynamic(opts Options) (*Table, error) {
@@ -194,7 +194,7 @@ func AblationStaticVsDynamic(opts Options) (*Table, error) {
 }
 
 // AblationPredeployed isolates the predeployed-job optimization
-// (DESIGN.md ablation 2): invocations either reuse the compiled plan and
+// (docs/ARCHITECTURE.md ablation 2): invocations either reuse the compiled plan and
 // pay only the invocation message, or recompile the UDF and pay full
 // dispatch overhead every batch.
 func AblationPredeployed(opts Options) (*Table, error) {
@@ -229,7 +229,7 @@ func AblationPredeployed(opts Options) (*Table, error) {
 	return table, nil
 }
 
-// AblationDecoupled isolates the layered-pipeline design (DESIGN.md
+// AblationDecoupled isolates the layered-pipeline design (docs/ARCHITECTURE.md
 // ablation 3): the decoupled intake/computing/storage pipeline versus
 // the Section 5.1 fused insert job whose storage write gates each batch.
 func AblationDecoupled(opts Options) (*Table, error) {
@@ -264,7 +264,7 @@ func AblationDecoupled(opts Options) (*Table, error) {
 }
 
 // AblationQueueCapacity sweeps the partition-holder queue bound
-// (DESIGN.md ablation 4): tighter queues mean more backpressure stalls,
+// (docs/ARCHITECTURE.md ablation 4): tighter queues mean more backpressure stalls,
 // looser queues more buffering.
 func AblationQueueCapacity(opts Options) (*Table, error) {
 	opts = opts.withDefaults()

@@ -3,8 +3,8 @@
 // requested scale, drives the ingestion framework through the same
 // parameter sweeps the paper reports, and returns a printable table
 // whose rows mirror the paper's series. Absolute numbers differ from the
-// paper's 2009-era cluster; the shapes are the reproduction target (see
-// EXPERIMENTS.md).
+// paper's 2019-era cluster; the shapes are the reproduction target (see
+// docs/ARCHITECTURE.md "Simulation fidelity").
 package experiments
 
 import (

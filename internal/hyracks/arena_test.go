@@ -1,0 +1,233 @@
+package hyracks
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// TestDetachedValuesSurviveArenaReuse is the arena-lifetime regression
+// test: one goroutine reuses a frame's arena (the recycle path) while
+// another concurrently reads values that were Detached from the frame
+// beforehand. If Detach/Materialize ever stops copying arena-backed
+// payloads, the reader and the writer touch the same bytes and the race
+// detector fails the build (the value assertion catches it even without
+// -race).
+func TestDetachedValuesSurviveArenaReuse(t *testing.T) {
+	parser := adm.NewParser()
+	arena := GetArena()
+	spine, err := parser.ParseInto([]byte(`{"id":7,"text":"detached payload"}`), GetRecordSlice(4), arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Frame{Records: spine, Arena: arena}
+	detached := Detach(f)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		// The pipeline after RecycleFrame: the arena is reset and
+		// overwritten by the next frames' records.
+		defer wg.Done()
+		p2 := adm.NewParser()
+		scratch := GetRecordSlice(4)
+		defer PutRecordSlice(scratch)
+		for i := 0; i < 500; i++ {
+			arena.Reset()
+			var e error
+			scratch, e = p2.ParseInto([]byte(`{"id":9,"text":"OVERWRITTEN bytes!!"}`), scratch[:0], arena)
+			if e != nil {
+				t.Error(e)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			if got := detached.Records[0].Field("text").StringVal(); got != "detached payload" {
+				t.Errorf("detached value corrupted: %q", got)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	RecycleFrameSpines(f)
+}
+
+// TestPullFrames: whole frames come out exactly as pushed — same spines,
+// same arenas, no copying — the batch stops once max records are
+// gathered, and eof reports closed-and-drained.
+func TestPullFrames(t *testing.T) {
+	ctx := context.Background()
+	h := NewPassiveHolder(8)
+	arenas := make([]*adm.Arena, 3)
+	for i := range arenas {
+		arenas[i] = GetArena()
+		recs := GetRecordSlice(2)
+		recs = append(recs, adm.Int(int64(2*i)), adm.Int(int64(2*i+1)))
+		if err := h.PushFrame(ctx, Frame{Records: recs, Arena: arenas[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.CloseInput()
+
+	frames, eof, err := h.PullFrames(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eof {
+		t.Fatal("premature eof")
+	}
+	// 3 records requested, frames hold 2 each: two whole frames.
+	if len(frames) != 2 {
+		t.Fatalf("got %d frames, want 2 (whole frames, allowed to overshoot)", len(frames))
+	}
+	for i, fr := range frames {
+		if fr.Arena != arenas[i] {
+			t.Fatalf("frame %d arena was not forwarded intact", i)
+		}
+		if fr.Records[0].IntVal() != int64(2*i) {
+			t.Fatalf("frame %d out of order", i)
+		}
+		RecycleFrame(fr)
+	}
+	frames, eof, err = h.PullFrames(ctx, 10)
+	if err != nil || eof {
+		t.Fatalf("drain pull: err=%v eof=%v", err, eof)
+	}
+	if len(frames) != 1 || frames[0].Len() != 2 {
+		t.Fatalf("expected the last frame, got %v", frames)
+	}
+	RecycleFrame(frames[0])
+	if _, eof, err = h.PullFrames(ctx, 1); err != nil || !eof {
+		t.Fatalf("expected eof, got err=%v eof=%v", err, eof)
+	}
+}
+
+// TestAddRawCopyStagesVolatileBuffers: AddRawCopy must copy the emitted
+// bytes into the frame arena so the caller can reuse its buffer, and
+// the arena must ride the flushed frame.
+func TestAddRawCopyStagesVolatileBuffers(t *testing.T) {
+	var got []Frame
+	b := NewFrameBuilder(4, writerFunc(func(f Frame) error {
+		got = append(got, f)
+		return nil
+	}))
+	buf := make([]byte, 0, 32)
+	lines := []string{`{"id":1}`, `{"id":22}`, `{"id":333}`}
+	for _, l := range lines {
+		buf = append(buf[:0], l...)
+		if err := b.AddRawCopy(buf); err != nil {
+			t.Fatal(err)
+		}
+		// Clobber the shared buffer the way a scanner would.
+		for i := range buf {
+			buf[i] = '#'
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Arena == nil {
+		t.Fatalf("want one frame with an arena, got %+v", got)
+	}
+	for i, l := range lines {
+		if string(got[0].Raw[i]) != l {
+			t.Fatalf("line %d = %q, want %q (volatile buffer leaked through)", i, got[0].Raw[i], l)
+		}
+	}
+	RecycleFrame(got[0])
+}
+
+// TestMapPipeMovesArena: the output frame of a MapPipe must carry the
+// input frame's arena, because pass-through and enrichment outputs keep
+// referencing it.
+func TestMapPipeMovesArena(t *testing.T) {
+	arena := GetArena()
+	parser := adm.NewParser()
+	spine, err := parser.ParseInto([]byte(`{"id":1,"text":"ride along"}`), GetRecordSlice(4), arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Frame
+	m := &MapPipe{Fn: func(v adm.Value) (adm.Value, bool, error) { return v, true, nil }}
+	err = m.Push(nil, Frame{Records: spine, Arena: arena}, writerFunc(func(f Frame) error {
+		out = append(out, f)
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Arena != arena {
+		t.Fatal("arena did not move to the MapPipe output frame")
+	}
+	if got := out[0].Records[0].Field("text").StringVal(); got != "ride along" {
+		t.Fatalf("record corrupted crossing MapPipe: %q", got)
+	}
+	RecycleFrame(out[0])
+}
+
+// TestHashConnectorWholesaleForwarding: a frame whose records all hash
+// to one target must be forwarded untouched — same spine, same arena —
+// while mixed frames are re-bucketed with their spines recycled and
+// arenas left to the re-bucketed records.
+func TestHashConnectorWholesaleForwarding(t *testing.T) {
+	targets := []chan Frame{make(chan Frame, 8), make(chan Frame, 8)}
+	var done sync.WaitGroup
+	done.Add(1)
+	w := &connectorWriter{
+		ctx: context.Background(),
+		spec: connectorSpec{
+			routing: HashPartition,
+			hashKey: func(v adm.Value) uint64 { return uint64(v.IntVal()) },
+		},
+		targets:  targets,
+		capacity: 8,
+		done:     &done,
+	}
+	if err := w.Open(); err != nil {
+		t.Fatal(err)
+	}
+
+	arena := GetArena()
+	single := GetRecordSlice(4)
+	single = append(single, adm.Int(1), adm.Int(3), adm.Int(5)) // all hash to 1
+	if err := w.Push(Frame{Records: single, Arena: arena}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-targets[1]:
+		if f.Arena != arena {
+			t.Fatal("wholesale forward lost the arena")
+		}
+		if len(f.Records) != 3 || &f.Records[0] != &single[0] {
+			t.Fatal("single-target frame was copied instead of forwarded")
+		}
+		RecycleFrame(f)
+	default:
+		t.Fatal("single-target frame not delivered")
+	}
+
+	mixed := GetRecordSlice(4)
+	mixed = append(mixed, adm.Int(2), adm.Int(7))
+	if err := w.Push(Frame{Records: mixed}); err != nil {
+		t.Fatal(err)
+	}
+	for tgt, want := range map[int]int64{0: 2, 1: 7} {
+		select {
+		case f := <-targets[tgt]:
+			if len(f.Records) != 1 || f.Records[0].IntVal() != want {
+				t.Fatalf("target %d got %v, want [%d]", tgt, f.Records, want)
+			}
+			RecycleFrame(f)
+		default:
+			t.Fatalf("target %d got nothing", tgt)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,22 +12,38 @@
 //
 // # Frame ownership and recycling
 //
-// Frame slices are pooled to keep the ingestion hot path allocation-
-// lean. The ownership discipline is:
+// Frame slices and byte arenas are pooled to keep the ingestion hot
+// path allocation-lean. This comment is the normative statement of the
+// discipline; docs/ARCHITECTURE.md walks through it with examples.
 //
 //   - Pushing a frame into a Writer or holder transfers ownership of
-//     its Records/Raw slices downstream; the producer must not touch
-//     them afterwards.
-//   - The final consumer of a frame — a sink that has copied or stored
-//     every record it needs (the storage writer after its WAL commit, a
-//     holder pull after copying records out) — returns the slices to
-//     the pool with RecycleFrame.
+//     its Records/Raw slices and its Arena downstream; the producer
+//     must not touch them afterwards.
+//   - A frame's Arena backs its payloads: raw-lane line bytes and the
+//     string/object memory of records parsed into it (adm.Arena). The
+//     records are valid only while the arena is live and un-Reset.
+//   - RecycleFrame is the full recycle — spines and arena go back to
+//     their pools. Only a consumer that has dropped or Materialized
+//     every record (and copied every raw line it needs) may call it;
+//     the arena will be reset and its bytes overwritten by the next
+//     frame.
+//   - RecycleFrameSpines recycles only the slice spines. A consumer
+//     that retains records un-materialized (the storage writer, the
+//     test Collector) uses it: the retained values keep the arena
+//     alive and the garbage collector reclaims it when they die.
+//   - Operators that forward values from an input frame to an output
+//     frame (MapPipe, single-target hash flushes) move the Arena to
+//     the output frame so it travels with the values that reference
+//     it.
 //   - Broadcast connectors deliver one frame to many consumers; such
-//     frames are marked Shared and RecycleFrame ignores them, so no
-//     consumer can pull the backing array out from under another.
-//   - Record values themselves are never pooled: adm.Value payloads are
-//     immutable-by-convention and may outlive the frame (storage keeps
-//     them). Recycling only reuses the slice spines.
+//     frames are marked Shared and both recycle calls ignore them, so
+//     no consumer can pull the backing memory out from under another.
+//     Retaining a value from a Shared frame is safe (the arena is
+//     never reset) but pins the whole frame; Materialize (or Detach
+//     for a whole frame) releases the pin.
+//   - Record values are never pooled: adm.Value payloads are
+//     immutable-by-convention. Arena-backed payloads may outlive any
+//     frame via RecycleFrameSpines; heap payloads always may.
 package hyracks
 
 import (
@@ -44,6 +60,12 @@ import (
 type Frame struct {
 	Records []adm.Value
 	Raw     [][]byte
+	// Arena, when non-nil, owns the byte/object memory backing this
+	// frame's payloads: raw-lane lines staged from volatile adapter
+	// buffers, or the string/object storage of records parsed into it.
+	// It moves with the frame (see the package comment's ownership
+	// rules) and is reset + pooled by RecycleFrame.
+	Arena *adm.Arena
 	// Shared marks a frame delivered to multiple consumers (broadcast
 	// routing); RecycleFrame refuses shared frames.
 	Shared bool
@@ -140,10 +162,51 @@ func PutRawSlice(s [][]byte) {
 	rawSlicePool.Put(&s)
 }
 
-// RecycleFrame returns both of a frame's slices to their pools. It is
-// called by the frame's final consumer (see the package comment for the
-// ownership rules) and is a no-op for shared frames.
+// defaultArenaBytes sizes a fresh pooled arena's byte buffer; arenas
+// converge on whatever their frames actually need as they recirculate.
+const defaultArenaBytes = 8 << 10
+
+var arenaPool = sync.Pool{}
+
+// GetArena returns a reset arena from the pool, or a fresh one.
+func GetArena() *adm.Arena {
+	if v := arenaPool.Get(); v != nil {
+		return v.(*adm.Arena)
+	}
+	return adm.NewArena(defaultArenaBytes)
+}
+
+// PutArena resets an arena and returns it to the pool. The caller must
+// guarantee no live value still references the arena's memory: the next
+// frame will overwrite it.
+func PutArena(a *adm.Arena) {
+	if a == nil {
+		return
+	}
+	a.Reset()
+	arenaPool.Put(a)
+}
+
+// RecycleFrame is the full recycle: spines and arena back to their
+// pools. Only the frame's final consumer may call it, and only after
+// dropping or Materializing every record — the arena is reset and its
+// bytes will be overwritten (see the package comment for the ownership
+// rules). No-op for shared frames.
 func RecycleFrame(f Frame) {
+	if f.Shared {
+		return
+	}
+	RecycleFrameSpines(f)
+	PutArena(f.Arena)
+}
+
+// RecycleFrameSpines returns only the frame's slice spines to their
+// pools, leaving the arena untouched. Consumers that retain the frame's
+// records un-materialized (the storage writer after its WAL commit)
+// use this: the retained values keep the arena alive and the garbage
+// collector reclaims it when the last of them dies. No-op for shared
+// frames.
+func RecycleFrameSpines(f Frame) {
 	if f.Shared {
 		return
 	}
@@ -155,6 +218,28 @@ func RecycleFrame(f Frame) {
 	}
 }
 
+// Detach returns a copy of the frame whose records and raw bytes share
+// no memory with the original's arena or spines: records are
+// Materialized and raw lines copied. Use it when a consumer of a Shared
+// (broadcast) frame — or any frame it does not own — needs to retain
+// the data past the push call.
+func Detach(f Frame) Frame {
+	out := Frame{}
+	if len(f.Records) > 0 {
+		out.Records = make([]adm.Value, len(f.Records))
+		for i, r := range f.Records {
+			out.Records[i] = r.Materialize()
+		}
+	}
+	if len(f.Raw) > 0 {
+		out.Raw = make([][]byte, len(f.Raw))
+		for i, b := range f.Raw {
+			out.Raw[i] = append([]byte(nil), b...)
+		}
+	}
+	return out
+}
+
 // FrameBuilder accumulates records and emits full frames to a Writer.
 // Its buffers come from the frame pool; each Flush transfers the buffer
 // downstream and the next Add draws a fresh (usually recycled) one.
@@ -162,6 +247,7 @@ type FrameBuilder struct {
 	capacity int
 	buf      []adm.Value
 	raw      [][]byte
+	arena    *adm.Arena
 	out      Writer
 }
 
@@ -199,13 +285,26 @@ func (b *FrameBuilder) AddRaw(rec []byte) error {
 	return nil
 }
 
-// Flush emits any buffered records as a frame, transferring buffer
-// ownership downstream.
+// AddRawCopy stages one raw record from a volatile buffer: the bytes
+// are copied into the frame's pooled arena (one memcpy, no per-record
+// allocation) and the arena-owned copy rides the raw lane. The caller
+// may reuse its buffer immediately — this is the emit path for adapters
+// that scan into a recycled read buffer (core.SocketAdapter).
+func (b *FrameBuilder) AddRawCopy(rec []byte) error {
+	if b.arena == nil {
+		b.arena = GetArena()
+	}
+	return b.AddRaw(b.arena.AppendBytes(rec))
+}
+
+// Flush emits any buffered records as a frame, transferring buffer and
+// arena ownership downstream.
 func (b *FrameBuilder) Flush() error {
 	if len(b.buf) == 0 && len(b.raw) == 0 {
+		// A drawn but unused arena is kept for the next frame.
 		return nil
 	}
-	f := Frame{Records: b.buf, Raw: b.raw}
-	b.buf, b.raw = nil, nil
+	f := Frame{Records: b.buf, Raw: b.raw, Arena: b.arena}
+	b.buf, b.raw, b.arena = nil, nil, nil
 	return b.out.Push(f)
 }

@@ -51,21 +51,26 @@ func TestFramePoolOwnership(t *testing.T) {
 	counts := make(map[int64]int)
 	total := 0
 	for {
-		recs, eof, err := h.PullBatch(ctx, 64)
+		frames, eof, err := h.PullFrames(ctx, 64)
 		if err != nil {
-			t.Fatalf("PullBatch: %v", err)
+			t.Fatalf("PullFrames: %v", err)
 		}
-		for _, r := range recs {
-			if r.Kind() != adm.KindInt64 {
-				t.Fatalf("pulled record of kind %v — recycled frame observed mutated", r.Kind())
+		for _, f := range frames {
+			for _, r := range f.Records {
+				if r.Kind() != adm.KindInt64 {
+					t.Fatalf("pulled record of kind %v — recycled frame observed mutated", r.Kind())
+				}
+				v := r.IntVal()
+				if v < 0 || v >= int64(maxPayload) {
+					t.Fatalf("pulled record with corrupt payload %d", v)
+				}
+				counts[v]++
 			}
-			v := r.IntVal()
-			if v < 0 || v >= int64(maxPayload) {
-				t.Fatalf("pulled record with corrupt payload %d", v)
-			}
-			counts[v]++
+			total += len(f.Records)
+			// Payloads are value types (no arena); full recycle feeds
+			// the producers' GetRecordSlice draws.
+			RecycleFrame(f)
 		}
-		total += len(recs)
 		if eof {
 			break
 		}
@@ -125,7 +130,7 @@ func TestRecycleFrameSharedNoOp(t *testing.T) {
 	}
 }
 
-// TestRawLane covers AddRaw/PullRawBatch: raw bytes must flow through
+// TestRawLane covers AddRaw/PullFrames: raw bytes must flow through
 // builder, holder, and pull without copying or corruption.
 func TestRawLane(t *testing.T) {
 	ctx := context.Background()
@@ -148,12 +153,15 @@ func TestRawLane(t *testing.T) {
 	h.CloseInput()
 	var got [][]byte
 	for {
-		raws, eof, err := h.PullRawBatch(ctx, 2)
+		frames, eof, err := h.PullFrames(ctx, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got = append(got, raws...)
-		PutRawSlice(raws)
+		for _, f := range frames {
+			got = append(got, f.Raw...)
+			// Raw views retained below; spines only.
+			RecycleFrameSpines(f)
+		}
 		if eof {
 			break
 		}

@@ -7,8 +7,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"github.com/ideadb/idea/internal/adm"
 )
 
 // ErrHolderClosed is returned when pushing into a holder whose input has
@@ -78,53 +76,30 @@ func (c *holderCore) recvAfterClose() (Frame, bool) {
 			return f, true
 		default:
 			if c.inflight.Load() == 0 {
-				return Frame{}, false
+				// A push may have enqueued its frame and decremented
+				// inflight between our queue poll above and the load —
+				// one final poll closes that window, keeping the
+				// "never a silent drop" invariant.
+				select {
+				case f := <-c.queue:
+					return f, true
+				default:
+					return Frame{}, false
+				}
 			}
 			runtime.Gosched()
 		}
 	}
 }
 
-// takeBuffered moves up to max-len(dst) elements from *store to dst.
-// The caller must hold the lock guarding *store.
-func takeBuffered[T any](store *[]T, dst []T, max int) []T {
-	room := max - len(dst)
-	if room <= 0 || len(*store) == 0 {
-		return dst
-	}
-	n := min(room, len(*store))
-	dst = append(dst, (*store)[:n]...)
-	*store = (*store)[n:]
-	if len(*store) == 0 {
-		*store = nil
-	}
-	return dst
-}
-
-// stashSplit appends up to max-len(dst) elements of incoming to dst and
-// copies the overflow into *overflow. The caller must hold the lock
-// guarding *overflow.
-func stashSplit[T any](dst, incoming []T, max int, overflow *[]T) []T {
-	room := max - len(dst)
-	if room >= len(incoming) {
-		return append(dst, incoming...)
-	}
-	dst = append(dst, incoming[:room]...)
-	*overflow = append(*overflow, incoming[room:]...)
-	return dst
-}
-
 // PassiveHolder is the paper's passive partition holder: it guards a
 // runtime partition with a bounded frame queue; the owning job pushes
 // frames in (implementing Pipe as the job's sink), and *other* jobs pull
-// batches out. The intake job ends in one of these so computing jobs can
-// collect their input batches. See holderCore for the close protocol.
+// frame batches out. The intake job ends in one of these so computing
+// jobs can collect their input batches. See holderCore for the close
+// protocol.
 type PassiveHolder struct {
 	core holderCore
-
-	mu          sync.Mutex
-	leftover    []adm.Value // records pulled but not yet returned
-	leftoverRaw [][]byte    // raw records pulled but not yet returned
 }
 
 // NewPassiveHolder returns a holder with the given frame-queue capacity
@@ -165,100 +140,47 @@ func (h *PassiveHolder) PushFrame(ctx context.Context, f Frame) error {
 	return h.core.push(ctx, f)
 }
 
-// pullLoop is the shared block-then-drain skeleton of both pull lanes:
-// block until at least one record lands in dst (or input is closed),
-// then drain without blocking up to max. stash moves one frame's
-// records into dst; discard releases dst's (possibly pooled) spine on
-// the empty-return paths. eof reports closed *and* fully drained.
-func pullLoop[T any](core *holderCore, ctx context.Context, dst []T, max int,
-	stash func([]T, Frame, int) []T, discard func([]T)) ([]T, bool, error) {
-	if len(dst) == 0 {
-		// Block for the first frame.
-		select {
-		case f := <-core.queue:
-			dst = stash(dst, f, max)
-		case <-core.done:
-			// Input closed; drain anything queued or still in flight.
-			f, ok := core.recvAfterClose()
-			if !ok {
-				discard(dst)
-				return nil, true, nil
-			}
-			dst = stash(dst, f, max)
-		case <-ctx.Done():
-			discard(dst)
-			return nil, false, ctx.Err()
-		}
+// PullFrames collects whole frames for a computing-job invocation:
+// it blocks until at least one frame is available (or input is closed),
+// then drains without blocking until the pulled frames total at least
+// max records. Frames are never split, so nothing is copied and each
+// frame's arena travels intact with its records — the batch may
+// overshoot max by up to one frame's worth (producers size their frames
+// to the batch quota; see core.buildIntakeSpec). The caller takes
+// ownership of every returned frame (recycle each per the package
+// rules). eof reports closed *and* fully drained.
+func (h *PassiveHolder) PullFrames(ctx context.Context, max int) (frames []Frame, eof bool, err error) {
+	total := 0
+	take := func(f Frame) {
+		frames = append(frames, f)
+		total += f.Len()
 	}
-	// Drain whatever else is immediately available.
-	for len(dst) < max {
+	select {
+	case f := <-h.core.queue:
+		take(f)
+	case <-h.core.done:
+		f, ok := h.core.recvAfterClose()
+		if !ok {
+			return nil, true, nil
+		}
+		take(f)
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	for total < max {
 		select {
-		case f := <-core.queue:
-			dst = stash(dst, f, max)
+		case f := <-h.core.queue:
+			take(f)
 		default:
-			return dst, false, nil
+			return frames, false, nil
 		}
 	}
-	return dst, false, nil
+	return frames, false, nil
 }
 
-// PullBatch collects up to max parsed records for a computing-job
-// invocation. It blocks until at least one record is available (or input
-// is closed), then drains without blocking up to the limit. eof reports
-// that the holder is closed *and* fully drained. Drained frames are
-// recycled once their records are copied out.
-func (h *PassiveHolder) PullBatch(ctx context.Context, max int) (recs []adm.Value, eof bool, err error) {
-	h.mu.Lock()
-	recs = takeBuffered(&h.leftover, nil, max)
-	h.mu.Unlock()
-	return pullLoop(&h.core, ctx, recs, max, h.stash, func([]adm.Value) {})
-}
-
-// PullRawBatch is PullBatch for the raw-bytes lane. The returned slice
-// comes from the frame pool; the caller should hand it back with
-// PutRawSlice once the records are parsed.
-func (h *PassiveHolder) PullRawBatch(ctx context.Context, max int) (raws [][]byte, eof bool, err error) {
-	h.mu.Lock()
-	raws = takeBuffered(&h.leftoverRaw, GetRawSlice(max), max)
-	h.mu.Unlock()
-	return pullLoop(&h.core, ctx, raws, max, h.stashRaw, PutRawSlice)
-}
-
-// stash appends up to max records, keeping any overflow (and any
-// raw-lane records of a mixed frame) for later pulls, then recycles the
-// frame — its contents have been copied out.
-func (h *PassiveHolder) stash(recs []adm.Value, f Frame, max int) []adm.Value {
-	h.mu.Lock()
-	recs = stashSplit(recs, f.Records, max, &h.leftover)
-	if len(f.Raw) > 0 {
-		h.leftoverRaw = append(h.leftoverRaw, f.Raw...)
-	}
-	h.mu.Unlock()
-	RecycleFrame(f)
-	return recs
-}
-
-// stashRaw is stash for the raw lane.
-func (h *PassiveHolder) stashRaw(raws [][]byte, f Frame, max int) [][]byte {
-	h.mu.Lock()
-	raws = stashSplit(raws, f.Raw, max, &h.leftoverRaw)
-	if len(f.Records) > 0 {
-		h.leftover = append(h.leftover, f.Records...)
-	}
-	h.mu.Unlock()
-	RecycleFrame(f)
-	return raws
-}
-
-// Pending reports queued records (approximate; frames in queue plus
-// leftovers).
-func (h *PassiveHolder) Pending() int {
-	h.mu.Lock()
-	n := len(h.leftover) + len(h.leftoverRaw)
-	h.mu.Unlock()
-	n += len(h.core.queue) // frame count, not record count; indicative only
-	return n
-}
+// Pending reports queued frames (indicative only; a frame holds many
+// records).
+func (h *PassiveHolder) Pending() int { return len(h.core.queue) }
 
 // ActiveHolder is the paper's active partition holder: it heads the
 // storage job, receiving frames pushed by computing jobs and actively

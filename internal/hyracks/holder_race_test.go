@@ -47,12 +47,15 @@ func TestPushFrameCloseInputRace(t *testing.T) {
 		go func() {
 			total := 0
 			for {
-				recs, eof, err := h.PullBatch(ctx, 16)
+				frames, eof, err := h.PullFrames(ctx, 16)
 				if err != nil {
-					t.Errorf("PullBatch: %v", err)
+					t.Errorf("PullFrames: %v", err)
 					break
 				}
-				total += len(recs)
+				for _, f := range frames {
+					total += f.Len()
+					RecycleFrame(f)
+				}
 				if eof {
 					break
 				}
@@ -72,8 +75,8 @@ func TestPushFrameCloseInputRace(t *testing.T) {
 			t.Fatalf("iter %d: drained %d records before EOF, want %d (successful pushes)", iter, got, want)
 		}
 		// EOF is a guarantee: nothing may surface after it.
-		if recs, _, err := h.PullBatch(ctx, 16); err != nil || len(recs) != 0 {
-			t.Fatalf("iter %d: %d records appeared after EOF (err=%v)", iter, len(recs), err)
+		if frames, _, err := h.PullFrames(ctx, 16); err != nil || len(frames) != 0 {
+			t.Fatalf("iter %d: %d frames appeared after EOF (err=%v)", iter, len(frames), err)
 		}
 	}
 }

@@ -8,7 +8,7 @@ import (
 	"time"
 )
 
-func TestPassiveHolderPullBatch(t *testing.T) {
+func TestPassiveHolderPullFrames(t *testing.T) {
 	h := NewPassiveHolder(8)
 	ctx := context.Background()
 	if err := h.PushFrame(ctx, Frame{Records: intRecords(5)}); err != nil {
@@ -18,28 +18,36 @@ func TestPassiveHolderPullBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Pull larger than available: gets everything queued, not EOF.
-	recs, eof, err := h.PullBatch(ctx, 100)
+	frames, eof, err := h.PullFrames(ctx, 100)
 	if err != nil || eof {
-		t.Fatalf("PullBatch: %v eof=%v", err, eof)
+		t.Fatalf("PullFrames: %v eof=%v", err, eof)
 	}
-	if len(recs) != 10 {
-		t.Fatalf("got %d records", len(recs))
+	if n := frameRecords(frames); n != 10 {
+		t.Fatalf("got %d records", n)
 	}
-	// Pull smaller than a frame: leftover is preserved.
+	// Pull smaller than a frame: whole frames, never split — the batch
+	// overshoots rather than copying a partial frame out.
 	h.PushFrame(ctx, Frame{Records: intRecords(10)})
-	recs, _, _ = h.PullBatch(ctx, 3)
-	if len(recs) != 3 {
-		t.Fatalf("got %d, want 3", len(recs))
+	frames, _, _ = h.PullFrames(ctx, 3)
+	if len(frames) != 1 || frameRecords(frames) != 10 {
+		t.Fatalf("got %d frames / %d records, want the whole 10-record frame", len(frames), frameRecords(frames))
 	}
-	recs, _, _ = h.PullBatch(ctx, 100)
-	if len(recs) != 7 {
-		t.Fatalf("leftover pull got %d, want 7", len(recs))
+	// Once the quota is met, queued frames stay queued.
+	h.PushFrame(ctx, Frame{Records: intRecords(2)})
+	h.PushFrame(ctx, Frame{Records: intRecords(2)})
+	frames, _, _ = h.PullFrames(ctx, 2)
+	if frameRecords(frames) != 2 {
+		t.Fatalf("quota pull got %d records, want 2", frameRecords(frames))
+	}
+	frames, _, _ = h.PullFrames(ctx, 100)
+	if frameRecords(frames) != 2 {
+		t.Fatalf("drain pull got %d records, want 2", frameRecords(frames))
 	}
 	// EOF after close and drain.
 	h.CloseInput()
-	recs, eof, _ = h.PullBatch(ctx, 10)
-	if len(recs) != 0 || !eof {
-		t.Fatalf("after close: %d recs eof=%v", len(recs), eof)
+	frames, eof, _ = h.PullFrames(ctx, 10)
+	if len(frames) != 0 || !eof {
+		t.Fatalf("after close: %d frames eof=%v", len(frames), eof)
 	}
 	// Pushing after close fails.
 	if err := h.PushFrame(ctx, Frame{}); !errors.Is(err, ErrHolderClosed) {
@@ -47,13 +55,22 @@ func TestPassiveHolderPullBatch(t *testing.T) {
 	}
 }
 
+// frameRecords sums the records across a pulled frame batch.
+func frameRecords(frames []Frame) int {
+	n := 0
+	for _, f := range frames {
+		n += f.Len()
+	}
+	return n
+}
+
 func TestPassiveHolderBlocksUntilData(t *testing.T) {
 	h := NewPassiveHolder(4)
 	ctx := context.Background()
 	got := make(chan int, 1)
 	go func() {
-		recs, _, _ := h.PullBatch(ctx, 10)
-		got <- len(recs)
+		frames, _, _ := h.PullFrames(ctx, 10)
+		got <- frameRecords(frames)
 	}()
 	time.Sleep(10 * time.Millisecond)
 	h.PushFrame(ctx, Frame{Records: intRecords(2)})
@@ -63,7 +80,7 @@ func TestPassiveHolderBlocksUntilData(t *testing.T) {
 			t.Errorf("pulled %d", n)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("PullBatch never returned")
+		t.Fatal("PullFrames never returned")
 	}
 }
 
@@ -72,7 +89,7 @@ func TestPassiveHolderPullCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := h.PullBatch(ctx, 10)
+		_, _, err := h.PullFrames(ctx, 10)
 		done <- err
 	}()
 	cancel()
@@ -102,7 +119,7 @@ func TestPassiveHolderBackpressure(t *testing.T) {
 	case <-time.After(20 * time.Millisecond):
 	}
 	// Draining unblocks.
-	h.PullBatch(ctx, 100)
+	h.PullFrames(ctx, 100)
 	select {
 	case <-blocked:
 	case <-time.After(5 * time.Second):
@@ -228,17 +245,18 @@ func TestIntakeComputeStoragePattern(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Computing "invocations": pull batches until both holders EOF.
+	// Computing "invocations": pull frame batches until both holders EOF.
 	done := 0
 	for done < len(holders) {
 		done = 0
 		for _, h := range holders {
-			recs, eof, err := h.PullBatch(ctx, 64)
+			frames, eof, err := h.PullFrames(ctx, 64)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(recs) > 0 {
-				if err := storageHolder.Push(ctx, Frame{Records: recs}); err != nil {
+			for _, f := range frames {
+				// Whole frames forward into the storage job untouched.
+				if err := storageHolder.Push(ctx, f); err != nil {
 					t.Fatal(err)
 				}
 			}

@@ -326,6 +326,7 @@ type connectorWriter struct {
 
 	rr      int           // round-robin cursor
 	buffers [][]adm.Value // per-target buffers for hash routing
+	scratch []int         // per-record hash targets, reused across frames
 	closed  bool
 }
 
@@ -369,8 +370,33 @@ func (w *connectorWriter) Push(f Frame) error {
 			// break partitioning and dropping would lose data.
 			return fmt.Errorf("hyracks: raw-lane frame reached hash connector; parse records first")
 		}
-		for _, rec := range f.Records {
+		if len(f.Records) == 0 {
+			RecycleFrame(f)
+			return nil
+		}
+		// Hash every record once into a reused scratch; when the whole
+		// frame lands on one target (always true for single-partition
+		// jobs, common for skewed keys) it is forwarded wholesale —
+		// spine, arena and all — with no per-record copying. Buffers
+		// are always empty between Pushes (every partial flushes at
+		// frame end), so wholesale forwarding cannot reorder records.
+		if cap(w.scratch) < len(f.Records) {
+			w.scratch = make([]int, len(f.Records))
+		}
+		targets := w.scratch[:len(f.Records)]
+		single := true
+		for i, rec := range f.Records {
 			t := int(w.spec.hashKey(rec) % uint64(len(w.targets)))
+			targets[i] = t
+			if t != targets[0] {
+				single = false
+			}
+		}
+		if single && !f.Shared {
+			return w.send(targets[0], f)
+		}
+		for i, rec := range f.Records {
+			t := targets[i]
 			if w.buffers[t] == nil {
 				w.buffers[t] = GetRecordSlice(w.capacity)
 			}
@@ -389,9 +415,12 @@ func (w *connectorWriter) Push(f Frame) error {
 				return err
 			}
 		}
-		// The input frame's records have all been copied into per-target
-		// buffers; its spine goes back to the pool.
-		RecycleFrame(f)
+		// The input frame's record headers have been copied into
+		// per-target buffers, but they still reference the input
+		// frame's arena — only the spine goes back to the pool; the
+		// arena's ownership passes to the re-bucketed records (the
+		// garbage collector reclaims it when the last one dies).
+		RecycleFrameSpines(f)
 		return nil
 	}
 }

@@ -8,7 +8,10 @@ import (
 )
 
 // MapPipe applies fn to each record. A nil result drops the record
-// (filtering).
+// (filtering). Fn must not retain input values past the call without
+// Materializing them: output values may share the input frame's arena,
+// which MapPipe moves to the output frame, but anything stashed aside
+// would dangle once the pipeline recycles that frame.
 type MapPipe struct {
 	Fn func(adm.Value) (adm.Value, bool, error)
 }
@@ -35,13 +38,25 @@ func (m *MapPipe) Push(_ *TaskContext, f Frame, out Writer) error {
 			outRecs = append(outRecs, v)
 		}
 	}
-	// Input values are copied (or dropped); the input spine is done.
-	RecycleFrame(f)
+	// Output values may reference the input frame's arena (the no-UDF
+	// pass-through forwards records verbatim; enrichment outputs embed
+	// input fields), so the arena migrates to the output frame. Shared
+	// frames keep theirs: it is never recycled, so references stay
+	// valid without a transfer.
+	arena := f.Arena
+	if f.Shared {
+		arena = nil
+	} else {
+		f.Arena = nil
+	}
+	RecycleFrameSpines(f)
 	if len(outRecs) == 0 {
+		// Every record dropped: nothing references the arena anymore.
 		PutRecordSlice(outRecs)
+		PutArena(arena)
 		return nil
 	}
-	return out.Push(Frame{Records: outRecs})
+	return out.Push(Frame{Records: outRecs, Arena: arena})
 }
 
 // Close implements Pipe.
@@ -101,13 +116,15 @@ type Collector struct {
 	recs []adm.Value
 }
 
-// Sink returns a SinkPipe appending into the collector.
+// Sink returns a SinkPipe appending into the collector. The collector
+// retains the records, so only the frame spines are recycled; any
+// arenas stay alive through the retained values.
 func (c *Collector) Sink() *SinkPipe {
 	return &SinkPipe{Fn: func(_ *TaskContext, f Frame) error {
 		c.mu.Lock()
 		c.recs = append(c.recs, f.Records...)
 		c.mu.Unlock()
-		RecycleFrame(f)
+		RecycleFrameSpines(f)
 		return nil
 	}}
 }

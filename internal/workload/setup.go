@@ -52,7 +52,7 @@ var ReferenceDatasets = map[string][]string{
 }
 
 // UDFDDL holds the CREATE FUNCTION statements for the eight use cases
-// (paper Appendix A–H; Q3 uses DESC per the DESIGN.md note; Q4's
+// (paper Appendix A–H; Q3 uses DESC, a deliberate deviation; Q4's
 // dataset is named SuspectsNames per Section 7.2).
 const UDFDDL = `
 CREATE FUNCTION enrichTweetQ1(t) {

@@ -25,7 +25,7 @@ type Sizes struct {
 	SensitiveNames       int // 1,000,000 × ~155 B (Q6)
 	AverageIncome        int // 50,000 × ~99 B (Q7)
 	DistrictArea         int // 500 × ~121 B (Q7)
-	Residents            int // paper: 1,000,000,000 × ~124 B (Q7) — substituted, see DESIGN.md
+	Residents            int // paper: 1,000,000,000 × ~124 B (Q7) — substituted, see docs/ARCHITECTURE.md
 	AttackEvents         int // 5,000 × ~179 B (Q8)
 	SensitiveWords       int // country/keyword list (UDF 2)
 }
@@ -33,7 +33,7 @@ type Sizes struct {
 // PaperSizes returns the record counts from Section 7, except Residents,
 // which the paper lists as 10⁹ and this reproduction caps at 500,000
 // (the experiment needs "a reference dataset whose per-batch rebuild
-// dominates", which the cap preserves; DESIGN.md documents the
+// dominates", which the cap preserves; docs/ARCHITECTURE.md documents the
 // substitution).
 func PaperSizes() Sizes {
 	return Sizes{
@@ -416,8 +416,8 @@ func (g *Generator) IncomeRows() int {
 	return n
 }
 
-// FillResidents loads the Q7 resident sampling (see DESIGN.md for the
-// 10⁹ → scaled substitution).
+// FillResidents loads the Q7 resident sampling (see docs/ARCHITECTURE.md
+// for the 10⁹ → scaled substitution).
 func (g *Generator) FillResidents(ds *lsm.Dataset) error {
 	ethnicities := []string{"e1", "e2", "e3", "e4", "e5", "e6"}
 	for i := 0; i < g.sizes.Residents; i++ {
