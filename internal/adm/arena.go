@@ -99,6 +99,16 @@ func (a *Arena) appendView(b []byte) string {
 	return unsafe.String(&a.buf[n], len(b))
 }
 
+// viewFrom returns a string view of the bytes appended to the buffer
+// since mark (a previous Len result). The unescape path uses it to turn
+// in-place escape decoding into an arena-backed string.
+func (a *Arena) viewFrom(mark int) string {
+	if len(a.buf) == mark {
+		return ""
+	}
+	return unsafe.String(&a.buf[mark], len(a.buf)-mark)
+}
+
 // stringValue copies b into the arena and returns a string Value whose
 // payload references arena memory, flagged so Materialize knows to copy
 // it out.

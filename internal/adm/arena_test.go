@@ -6,7 +6,7 @@ import (
 
 // TestArenaParsing: values parsed into an arena must read back exactly
 // like heap-parsed values, across strings, nested objects, arrays,
-// escapes (which fall back to heap), and field names.
+// escapes (decoded into the arena's unescape buffer), and field names.
 func TestArenaParsing(t *testing.T) {
 	doc := []byte(`{"id":42,"text":"plain body","esc":"a\nb","user":{"name":"ann","tags":["x","y"]},"n":1.5}`)
 	want, err := ParseJSON(doc)
@@ -29,8 +29,11 @@ func TestArenaParsing(t *testing.T) {
 	if !got.Field("text").ArenaBacked() {
 		t.Fatal("clean string should be an arena view")
 	}
-	if got.Field("esc").ArenaBacked() {
-		t.Fatal("escape-decoded string should fall back to the heap")
+	if !got.Field("esc").ArenaBacked() {
+		t.Fatal("escape-decoded string should decode into the arena's unescape buffer")
+	}
+	if !got.Field("user").Field("tags").ArenaBacked() {
+		t.Fatal("array element spine should be carved from the arena")
 	}
 	// Stateless arena parse: field names are arena views too.
 	spine2, err := ParseJSONInto(doc, nil, NewArena(256))
@@ -169,12 +172,13 @@ func TestArenaStringZeroAllocs(t *testing.T) {
 }
 
 // TestArenaRecordZeroAllocs extends the budget to a whole record shaped
-// like the feed benchmark's (nested object, strings, ints, no arrays):
-// after warmup the entire record parses with zero allocations.
+// like the feed benchmark's — nested object, strings, ints, and an
+// array, whose element spine is carved from the arena too: after
+// warmup the entire record parses with zero allocations.
 func TestArenaRecordZeroAllocs(t *testing.T) {
 	p := NewParser()
 	a := NewArena(4096)
-	doc := []byte(`{"id":184756,"text":"benchmark tweet with some padding text","lang":"en","user":{"id":99,"screen_name":"bench","followers_count":1024}}`)
+	doc := []byte(`{"id":184756,"text":"benchmark tweet with some padding text","lang":"en","coordinates":[-117.84,33.68],"user":{"id":99,"screen_name":"bench","followers_count":1024}}`)
 	spine := make([]Value, 0, 8)
 	parse := func() {
 		a.Reset()
@@ -194,9 +198,9 @@ func TestArenaRecordZeroAllocs(t *testing.T) {
 	}
 }
 
-// TestArenaTweetBudget bounds the full paper-shaped tweet (which has a
-// coordinates array — array spines still come from the heap): tiny
-// fixed budget instead of zero.
+// TestArenaTweetBudget pins the full paper-shaped tweet — coordinates
+// array included — at zero allocations once warmed: with array element
+// spines carved from the arena, nothing in the record touches the heap.
 func TestArenaTweetBudget(t *testing.T) {
 	p := NewParser()
 	a := NewArena(4096)
@@ -213,7 +217,40 @@ func TestArenaTweetBudget(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		parse()
 	}
-	if allocs := testing.AllocsPerRun(100, parse); allocs > 4 {
-		t.Fatalf("arena tweet parse allocated %v times per run, budget 4", allocs)
+	if allocs := testing.AllocsPerRun(100, parse); allocs != 0 {
+		t.Fatalf("arena tweet parse allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestArenaEscapeZeroAllocs: escape-heavy strings decode into the
+// arena's unescape buffer, so even an escape-dense record parses with
+// zero allocations once warmed.
+func TestArenaEscapeZeroAllocs(t *testing.T) {
+	p := NewParser()
+	a := NewArena(4096)
+	doc := []byte(`{"id":7,"text":"line one\nline \"two\"\twith\\backslashes","note":"A\u00e9 \ud83d\ude00 B\n\t"}`)
+	spine := make([]Value, 0, 8)
+	parse := func() {
+		a.Reset()
+		spine = spine[:0]
+		var err error
+		spine, err = p.ParseInto(doc, spine, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		parse()
+	}
+	if allocs := testing.AllocsPerRun(200, parse); allocs != 0 {
+		t.Fatalf("arena escape parse allocated %v times per run, want 0", allocs)
+	}
+	// The decoded content must match the heap parser's exactly.
+	want, err := ParseJSON(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Compare(spine[0], want) != 0 {
+		t.Fatalf("arena unescape mismatch:\n got %v\nwant %v", spine[0], want)
 	}
 }

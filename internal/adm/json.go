@@ -22,10 +22,15 @@ func ParseJSON(data []byte) (Value, error) {
 // available.
 const defaultObjectHint = 8
 
+// defaultArrayHint is the pre-size for array element spines when no
+// Parser hint is available.
+const defaultArrayHint = 4
+
 type jsonParser struct {
-	data  []byte
-	pos   int
-	depth int
+	data     []byte
+	pos      int
+	depth    int
+	arrDepth int
 	// owner, when non-nil, supplies the field-name intern table and
 	// object size hints of a reusable Parser.
 	owner *Parser
@@ -204,7 +209,9 @@ func (p *jsonParser) parseKey() (key string, inArena bool, err error) {
 
 // parseStringValue parses a JSON string into a Value. Escape-free
 // strings parsed with an arena become zero-allocation views of arena
-// memory; everything else falls back to a heap string.
+// memory; escape-heavy strings decode straight into the arena's byte
+// buffer (no per-string heap scratch, no final copy). Only the
+// arena-less path falls back to heap strings.
 func (p *jsonParser) parseStringValue() (Value, error) {
 	start := p.pos + 1
 	for i := start; i < len(p.data); i++ {
@@ -221,11 +228,46 @@ func (p *jsonParser) parseStringValue() (Value, error) {
 			break
 		}
 	}
+	if p.arena != nil {
+		s, err := p.parseStringIntoArena()
+		if err != nil {
+			return Value{}, err
+		}
+		if s == "" {
+			return String(""), nil
+		}
+		return Value{kind: KindString, flags: flagArena, s: s}, nil
+	}
 	s, err := p.parseString()
 	if err != nil {
 		return Value{}, err
 	}
 	return String(s), nil
+}
+
+// parseStringIntoArena decodes a string (escapes included) directly
+// into the arena's byte buffer and returns a view of it — the
+// arena-backed unescape buffer that keeps escape-dense corpora off the
+// per-string heap path.
+func (p *jsonParser) parseStringIntoArena() (string, error) {
+	a := p.arena
+	mark := a.Len()
+	p.pos++ // consume opening quote
+	start := p.pos
+	// Copy the escape-free prefix, then decode the rest in place.
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		if c == '"' || c == '\\' || c < 0x20 {
+			break
+		}
+		p.pos++
+	}
+	buf, err := p.decodeStringTail(append(a.buf, p.data[start:p.pos]...))
+	if err != nil {
+		return "", err
+	}
+	a.buf = buf
+	return a.viewFrom(mark), nil
 }
 
 func (p *jsonParser) parseArray() (Value, error) {
@@ -235,16 +277,31 @@ func (p *jsonParser) parseArray() (Value, error) {
 		p.pos++
 		return EmptyArray(), nil
 	}
+	depth := p.arrDepth
+	p.arrDepth++
+	// With an arena, the element spine is carved from the value slab at
+	// the hinted length; arrays that outgrow the span fall back to heap
+	// growth (the hints make that rare), which is correct, just slower.
 	var elems []Value
+	hint := 0
+	if p.arena != nil {
+		hint = defaultArrayHint
+		if p.owner != nil {
+			hint = p.owner.arrayHint(depth)
+		}
+		elems = p.arena.valueSpan(hint)
+	}
 	for {
 		p.skipSpace()
 		v, err := p.parseValue()
 		if err != nil {
+			p.arrDepth--
 			return Value{}, err
 		}
 		elems = append(elems, v)
 		p.skipSpace()
 		if p.pos >= len(p.data) {
+			p.arrDepth--
 			return Value{}, p.errorf("unterminated array")
 		}
 		switch p.data[p.pos] {
@@ -252,8 +309,18 @@ func (p *jsonParser) parseArray() (Value, error) {
 			p.pos++
 		case ']':
 			p.pos++
+			p.arrDepth--
+			if p.owner != nil {
+				p.owner.observeArray(depth, len(elems))
+			}
+			// cap(elems) == hint means every append stayed inside the
+			// arena span; growth would have reallocated to the heap.
+			if hint > 0 && cap(elems) == hint {
+				return Value{kind: KindArray, flags: flagArenaSpine, arr: elems}, nil
+			}
 			return Array(elems), nil
 		default:
+			p.arrDepth--
 			return Value{}, p.errorf("expected ',' or ']' in array")
 		}
 	}
@@ -275,18 +342,30 @@ func (p *jsonParser) parseString() (string, error) {
 		}
 		p.pos++
 	}
-	// Slow path with escape handling.
-	buf := append([]byte(nil), p.data[start:p.pos]...)
+	// Slow path with escape handling into a heap scratch.
+	buf, err := p.decodeStringTail(append([]byte(nil), p.data[start:p.pos]...))
+	if err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// decodeStringTail appends the remainder of the current string —
+// p.pos sits at the first escape (or closing quote) — to buf, decoding
+// escapes, and returns the extended buffer. The caller chooses where
+// the decoded bytes accumulate: a throwaway heap scratch (parseString)
+// or the frame arena's byte buffer (parseStringIntoArena).
+func (p *jsonParser) decodeStringTail(buf []byte) ([]byte, error) {
 	for p.pos < len(p.data) {
 		c := p.data[p.pos]
 		switch {
 		case c == '"':
 			p.pos++
-			return string(buf), nil
+			return buf, nil
 		case c == '\\':
 			p.pos++
 			if p.pos >= len(p.data) {
-				return "", p.errorf("unterminated escape")
+				return nil, p.errorf("unterminated escape")
 			}
 			esc := p.data[p.pos]
 			p.pos++
@@ -306,36 +385,61 @@ func (p *jsonParser) parseString() (string, error) {
 			case 'u':
 				r, err := p.parseUnicodeEscape()
 				if err != nil {
-					return "", err
+					return nil, err
 				}
 				buf = utf8.AppendRune(buf, r)
 			default:
-				return "", p.errorf("invalid escape '\\%c'", esc)
+				return nil, p.errorf("invalid escape '\\%c'", esc)
 			}
 		case c < 0x20:
-			return "", p.errorf("control character in string")
+			return nil, p.errorf("control character in string")
 		default:
 			buf = append(buf, c)
 			p.pos++
 		}
 	}
-	return "", p.errorf("unterminated string")
+	return nil, p.errorf("unterminated string")
+}
+
+// hex4 decodes four hex digits straight from bytes, avoiding the
+// string conversion (and its allocation) strconv.ParseUint would force
+// on every \u escape.
+func hex4(b []byte) (uint32, bool) {
+	if len(b) < 4 {
+		return 0, false
+	}
+	var u uint32
+	for i := 0; i < 4; i++ {
+		c := b[i]
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return 0, false
+		}
+		u = u<<4 | d
+	}
+	return u, true
 }
 
 func (p *jsonParser) parseUnicodeEscape() (rune, error) {
 	if p.pos+4 > len(p.data) {
 		return 0, p.errorf("truncated \\u escape")
 	}
-	u, err := strconv.ParseUint(string(p.data[p.pos:p.pos+4]), 16, 32)
-	if err != nil {
+	u, ok := hex4(p.data[p.pos:])
+	if !ok {
 		return 0, p.errorf("invalid \\u escape")
 	}
 	p.pos += 4
 	r := rune(u)
 	if utf16.IsSurrogate(r) && p.pos+6 <= len(p.data) &&
 		p.data[p.pos] == '\\' && p.data[p.pos+1] == 'u' {
-		u2, err := strconv.ParseUint(string(p.data[p.pos+2:p.pos+6]), 16, 32)
-		if err == nil {
+		if u2, ok := hex4(p.data[p.pos+2:]); ok {
 			if combined := utf16.DecodeRune(r, rune(u2)); combined != utf8.RuneError {
 				p.pos += 6
 				return combined, nil

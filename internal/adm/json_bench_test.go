@@ -32,6 +32,44 @@ func BenchmarkParseJSONParser(b *testing.B) {
 	}
 }
 
+// escapeHeavyJSON is an escape-dense corpus record: every string field
+// needs escape decoding (quotes, control characters, unicode escapes),
+// the adversarial shape for a parser whose fast path assumes clean
+// strings.
+var escapeHeavyJSON = []byte(`{"id":991827,"text":"\"quoted\" text\nwith\tmany\\escapes\r\nacross éè lines 😀","bio":"line1\nline2\nline3\t\"x\"","url":"https:\/\/example.com\/a\/b\/c","note":"tab\there\nand ☃ snowman"}`)
+
+// BenchmarkParseEscapeHeavy measures the escape-decoding path over the
+// escape-dense corpus: the heap fallback (no arena) against the
+// arena-backed unescape buffer, which decodes in place and allocates
+// nothing once warm.
+func BenchmarkParseEscapeHeavy(b *testing.B) {
+	b.Run("heap", func(b *testing.B) {
+		p := NewParser()
+		b.ReportAllocs()
+		b.SetBytes(int64(len(escapeHeavyJSON)))
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Parse(escapeHeavyJSON); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		p := NewParser()
+		a := NewArena(4096)
+		spine := make([]Value, 0, 8)
+		b.ReportAllocs()
+		b.SetBytes(int64(len(escapeHeavyJSON)))
+		for i := 0; i < b.N; i++ {
+			a.Reset()
+			spine = spine[:0]
+			var err error
+			if spine, err = p.ParseInto(escapeHeavyJSON, spine, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkParseJSONParserArena is the dynamic feed's hot-path
 // configuration: an interning Parser writing string payloads, objects,
 // and field spines into a reusable byte arena, so a warmed record

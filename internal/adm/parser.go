@@ -17,6 +17,10 @@ package adm
 type Parser struct {
 	intern map[string]string
 	hints  []int
+	// arrayHints mirrors hints for array lengths per array-nesting
+	// depth, so parseArray can carve element spines of the right size
+	// from the frame arena instead of growing heap slices.
+	arrayHints []int
 }
 
 const (
@@ -126,5 +130,33 @@ func (pp *Parser) observe(depth, n int) {
 	}
 	if n > pp.hints[depth] {
 		pp.hints[depth] = n
+	}
+}
+
+// arrayHint returns the expected element count for an array at the
+// given array-nesting depth, from the longest array seen there so far.
+func (pp *Parser) arrayHint(depth int) int {
+	if depth < len(pp.arrayHints) && pp.arrayHints[depth] > 0 {
+		return pp.arrayHints[depth]
+	}
+	return defaultArrayHint
+}
+
+// observeArray records the element count of a finished array at depth.
+// The hint is capped like object hints so one huge outlier array does
+// not pin large spans for every record that follows (longer arrays
+// simply fall back to heap growth past the span).
+func (pp *Parser) observeArray(depth, n int) {
+	if depth >= maxHintDepth {
+		return
+	}
+	for len(pp.arrayHints) <= depth {
+		pp.arrayHints = append(pp.arrayHints, 0)
+	}
+	if n > maxFieldHint {
+		n = maxFieldHint
+	}
+	if n > pp.arrayHints[depth] {
+		pp.arrayHints[depth] = n
 	}
 }

@@ -35,6 +35,11 @@ type Value struct {
 // Objects carry their own arena markers — see Object.
 const flagArena uint8 = 1 << 0
 
+// flagArenaSpine marks an array value whose element spine was carved
+// from an Arena's value slab; Materialize must rebuild the spine even
+// when every element is heap-safe.
+const flagArenaSpine uint8 = 1 << 1
+
 // Canonical singletons for the two unknown values and the booleans.
 var (
 	missingValue = Value{kind: KindMissing}
@@ -268,6 +273,8 @@ func (v Value) ArenaBacked() bool {
 	switch v.kind {
 	case KindString:
 		return v.flags&flagArena != 0
+	case KindArray:
+		return v.flags&flagArenaSpine != 0
 	case KindObject:
 		return v.obj != nil && (v.obj.arena || v.obj.arenaNames)
 	}
@@ -297,8 +304,13 @@ func (v Value) materialize() (Value, bool) {
 		}
 		return v, false
 	case KindArray:
-		changed := false
+		// An arena-carved spine must be rebuilt even when every element
+		// is already heap-safe.
+		changed := v.flags&flagArenaSpine != 0
 		var out []Value
+		if changed && v.arr != nil {
+			out = make([]Value, len(v.arr))
+		}
 		for i, e := range v.arr {
 			m, ch := e.materialize()
 			if ch && out == nil {

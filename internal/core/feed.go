@@ -346,25 +346,9 @@ func (f *Feed) buildStorageSpec() *hyracks.JobSpec {
 		Name:        "storage-partition-writer",
 		Parallelism: f.cluster.NumNodes(),
 		NewPipe: func(p int) (hyracks.Pipe, error) {
-			part := f.ds.Partition(p)
-			return &hyracks.SinkPipe{
-				Fn: func(_ *hyracks.TaskContext, fr hyracks.Frame) error {
-					for _, rec := range fr.Records {
-						key := rec.Field(pk)
-						if key.IsUnknown() {
-							return fmt.Errorf("core: record missing primary key %q", pk)
-						}
-						part.Upsert(key, rec)
-					}
-					part.WAL().Commit() // group commit per frame
-					f.stats.Stored.Add(int64(fr.Len()))
-					// The WAL commit makes the batch durable. Storage
-					// retains the records, so only the spines recycle;
-					// the frame's arena stays alive through them.
-					hyracks.RecycleFrameSpines(fr)
-					return nil
-				},
-			}, nil
+			// Each frame lands in the memtable as one batch operation
+			// (one WAL append+commit, one lock); see newStorageWriter.
+			return newStorageWriter(f.ds.Partition(p), pk, &f.stats.Stored), nil
 		},
 	})
 	spec.Connect(holderOp, writerOp, hyracks.HashPartition, func(rec adm.Value) uint64 {
@@ -572,23 +556,7 @@ func (f *Feed) buildComputeSpec() *hyracks.JobSpec {
 			Name:        "fused-storage-writer",
 			Parallelism: n,
 			NewPipe: func(p int) (hyracks.Pipe, error) {
-				part := f.ds.Partition(p)
-				return &hyracks.SinkPipe{
-					Fn: func(_ *hyracks.TaskContext, fr hyracks.Frame) error {
-						for _, rec := range fr.Records {
-							key := rec.Field(pk)
-							if key.IsUnknown() {
-								return fmt.Errorf("core: record missing primary key %q", pk)
-							}
-							part.Upsert(key, rec)
-						}
-						part.WAL().Commit()
-						f.stats.Stored.Add(int64(fr.Len()))
-						// Records retained by storage: spines only.
-						hyracks.RecycleFrameSpines(fr)
-						return nil
-					},
-				}, nil
+				return newStorageWriter(f.ds.Partition(p), pk, &f.stats.Stored), nil
 			},
 		})
 		spec.Connect(evalOp, writerOp, hyracks.HashPartition, func(rec adm.Value) uint64 {

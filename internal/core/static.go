@@ -167,23 +167,8 @@ func StartStatic(ctx context.Context, c *cluster.Cluster, cfg Config) (*StaticFe
 		Name:        "storage-partition-writer",
 		Parallelism: n,
 		NewPipe: func(p int) (hyracks.Pipe, error) {
-			part := ds.Partition(p)
-			return &hyracks.SinkPipe{
-				Fn: func(_ *hyracks.TaskContext, fr hyracks.Frame) error {
-					for _, rec := range fr.Records {
-						key := rec.Field(pk)
-						if key.IsUnknown() {
-							return fmt.Errorf("core: record missing primary key %q", pk)
-						}
-						part.Upsert(key, rec)
-					}
-					part.WAL().Commit()
-					sf.stats.Stored.Add(int64(fr.Len()))
-					// Records retained by storage: spines only.
-					hyracks.RecycleFrameSpines(fr)
-					return nil
-				},
-			}, nil
+			// Frame-granular batch writes, same as the dynamic feed.
+			return newStorageWriter(ds.Partition(p), pk, &sf.stats.Stored), nil
 		},
 	})
 

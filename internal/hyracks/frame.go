@@ -44,6 +44,14 @@
 //   - Record values are never pooled: adm.Value payloads are
 //     immutable-by-convention. Arena-backed payloads may outlive any
 //     frame via RecycleFrameSpines; heap payloads always may.
+//   - Handing a frame to the storage layer (lsm.Dataset.UpsertFrame,
+//     or a storage writer calling lsm.Partition.UpsertBatch) transfers
+//     ownership like a Push: storage retains the records, the storage
+//     side recycles the spines (UpsertFrame itself; the writer after
+//     UpsertBatch returns), and nobody resets the arena — it stays
+//     alive through the retained values. The producer must not touch
+//     the frame after the call; on an UpsertFrame error the frame is
+//     NOT consumed and ownership stays with the caller.
 package hyracks
 
 import (
@@ -103,23 +111,60 @@ var Discard Writer = discardWriter{}
 // slices, so tiny first requests still produce reusable buffers.
 const minPooledCap = 64
 
-var recordSlicePool = sync.Pool{}
+// slicePool pools slice spines without allocating on Put: the *[]T
+// boxes that carry spines through the underlying sync.Pool are
+// themselves recycled through a second pool, so a steady-state
+// get/put cycle allocates nothing. (A naive sync.Pool of []T boxes a
+// fresh *[]T on every Put — at frame rates that box churn shows up in
+// the end-to-end alloc profile.)
+type slicePool[T any] struct {
+	full  sync.Pool // *[]T holding pooled spines
+	spent sync.Pool // *[]T with nil slices, ready to carry the next Put
+}
 
-// GetRecordSlice returns an empty record slice with at least the given
-// capacity hint, reusing a pooled spine when one is available. A pooled
-// spine smaller than the hint is dropped rather than recirculated, so
-// undersized spines don't keep forcing regrowth at large-batch sites;
-// the pool converges on spines big enough for every caller.
-func GetRecordSlice(capacity int) []adm.Value {
-	if v := recordSlicePool.Get(); v != nil {
-		if s := (*v.(*[]adm.Value))[:0]; cap(s) >= capacity {
+func (p *slicePool[T]) get(capacity int) []T {
+	if v := p.full.Get(); v != nil {
+		b := v.(*[]T)
+		s := (*b)[:0]
+		*b = nil
+		p.spent.Put(b)
+		// A pooled spine smaller than the hint is dropped rather than
+		// recirculated, so undersized spines don't keep forcing
+		// regrowth at large-batch sites; the pool converges on spines
+		// big enough for every caller.
+		if cap(s) >= capacity {
 			return s
 		}
 	}
 	if capacity < minPooledCap {
 		capacity = minPooledCap
 	}
-	return make([]adm.Value, 0, capacity)
+	return make([]T, 0, capacity)
+}
+
+func (p *slicePool[T]) put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	var b *[]T
+	if v := p.spent.Get(); v != nil {
+		b = v.(*[]T)
+	} else {
+		b = new([]T)
+	}
+	*b = s
+	p.full.Put(b)
+}
+
+var recordSlicePool slicePool[adm.Value]
+
+// GetRecordSlice returns an empty record slice with at least the given
+// capacity hint, reusing a pooled spine when one is available.
+func GetRecordSlice(capacity int) []adm.Value {
+	return recordSlicePool.get(capacity)
 }
 
 // PutRecordSlice returns a record slice's spine to the pool. The caller
@@ -127,39 +172,19 @@ func GetRecordSlice(capacity int) []adm.Value {
 // subslice) may use it afterwards. The array is cleared so pooled spines
 // do not pin record payloads.
 func PutRecordSlice(s []adm.Value) {
-	if cap(s) == 0 {
-		return
-	}
-	s = s[:cap(s)]
-	clear(s)
-	s = s[:0]
-	recordSlicePool.Put(&s)
+	recordSlicePool.put(s)
 }
 
-var rawSlicePool = sync.Pool{}
+var rawSlicePool slicePool[[]byte]
 
 // GetRawSlice is GetRecordSlice for the raw-bytes lane.
 func GetRawSlice(capacity int) [][]byte {
-	if v := rawSlicePool.Get(); v != nil {
-		if s := (*v.(*[][]byte))[:0]; cap(s) >= capacity {
-			return s
-		}
-	}
-	if capacity < minPooledCap {
-		capacity = minPooledCap
-	}
-	return make([][]byte, 0, capacity)
+	return rawSlicePool.get(capacity)
 }
 
 // PutRawSlice is PutRecordSlice for the raw-bytes lane.
 func PutRawSlice(s [][]byte) {
-	if cap(s) == 0 {
-		return
-	}
-	s = s[:cap(s)]
-	clear(s)
-	s = s[:0]
-	rawSlicePool.Put(&s)
+	rawSlicePool.put(s)
 }
 
 // defaultArenaBytes sizes a fresh pooled arena's byte buffer; arenas

@@ -327,6 +327,7 @@ type connectorWriter struct {
 	rr      int           // round-robin cursor
 	buffers [][]adm.Value // per-target buffers for hash routing
 	scratch []int         // per-record hash targets, reused across frames
+	counts  []int         // per-target histogram, reused across frames
 	closed  bool
 }
 
@@ -395,21 +396,44 @@ func (w *connectorWriter) Push(f Frame) error {
 		if single && !f.Shared {
 			return w.send(targets[0], f)
 		}
-		for i, rec := range f.Records {
-			t := targets[i]
-			if w.buffers[t] == nil {
-				w.buffers[t] = GetRecordSlice(w.capacity)
+		// Mixed-target frame: build a per-target histogram so each
+		// target's buffer is drawn and sized exactly once, then copy
+		// runs of same-target records instead of appending one by one.
+		if cap(w.counts) < len(w.targets) {
+			w.counts = make([]int, len(w.targets))
+		}
+		counts := w.counts[:len(w.targets)]
+		clear(counts)
+		for _, t := range targets {
+			counts[t]++
+		}
+		for t, c := range counts {
+			if c == 0 {
+				continue
 			}
-			w.buffers[t] = append(w.buffers[t], rec)
-			if len(w.buffers[t]) >= w.capacity {
-				if err := w.flushTarget(t); err != nil {
-					return err
-				}
+			need := len(w.buffers[t]) + c
+			if w.buffers[t] == nil {
+				w.buffers[t] = GetRecordSlice(max(w.capacity, c))
+			} else if cap(w.buffers[t]) < need {
+				grown := GetRecordSlice(need)
+				grown = append(grown, w.buffers[t]...)
+				PutRecordSlice(w.buffers[t])
+				w.buffers[t] = grown
 			}
 		}
-		// Flush every partial buffer at the end of the input frame:
-		// long-running jobs (the storage job) must not hold records
-		// hostage waiting for a full output frame.
+		for i := 0; i < len(f.Records); {
+			t := targets[i]
+			j := i + 1
+			for j < len(f.Records) && targets[j] == t {
+				j++
+			}
+			w.buffers[t] = append(w.buffers[t], f.Records[i:j]...)
+			i = j
+		}
+		// Flush every buffer at the end of the input frame: long-running
+		// jobs (the storage job) must not hold records hostage waiting
+		// for a full output frame, and flushing everything keeps each
+		// frame's records one batch for the storage writer downstream.
 		for t := range w.buffers {
 			if err := w.flushTarget(t); err != nil {
 				return err

@@ -146,6 +146,58 @@ func TestJobHashPartitioning(t *testing.T) {
 	}
 }
 
+// TestJobHashMixedFrameOrder pins the histogram/run-copy re-bucketing
+// of mixed-target frames: every record must still land on its hash
+// target, and the relative order of records bound for the same target
+// must survive exactly (the storage layer's last-wins upsert semantics
+// depend on it).
+func TestJobHashMixedFrameOrder(t *testing.T) {
+	const parts = 4
+	const n = 5000
+	spec := NewJobSpec()
+	src := spec.AddOperator(&Descriptor{
+		Name: "src", Parallelism: 1,
+		NewSource: func(p int) (Source, error) {
+			// Sequential ids hash to interleaved targets, so every frame
+			// is mixed-target.
+			return &SliceSource{Records: intRecords(n), FrameCap: 64}, nil
+		},
+	})
+	var collectors [parts]Collector
+	sink := spec.AddOperator(&Descriptor{
+		Name: "sink", Parallelism: parts,
+		NewPipe: func(p int) (Pipe, error) { return collectors[p].Sink(), nil },
+	})
+	keyFn := func(rec adm.Value) uint64 { return adm.Hash(rec.Field("id")) }
+	spec.Connect(src, sink, HashPartition, keyFn)
+	job, err := spec.Run(context.Background(), "hash-mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p := 0; p < parts; p++ {
+		recs := collectors[p].Records()
+		total += len(recs)
+		prev := int64(-1)
+		for _, r := range recs {
+			if int(keyFn(r)%parts) != p {
+				t.Fatalf("record %v routed to wrong partition %d", r, p)
+			}
+			id := r.Field("id").IntVal()
+			if id <= prev {
+				t.Fatalf("partition %d: order broken, id %d after %d", p, id, prev)
+			}
+			prev = id
+		}
+	}
+	if total != n {
+		t.Fatalf("total = %d, want %d", total, n)
+	}
+}
+
 func TestJobBroadcast(t *testing.T) {
 	const parts = 3
 	spec := NewJobSpec()

@@ -9,10 +9,16 @@
 package index
 
 import (
+	"slices"
+
 	"github.com/ideadb/idea/internal/adm"
 )
 
-const btreeDegree = 16 // max 31 items / node, min 15
+// btreeDegree 64 gives wide nodes (max 127 items, min 63): the
+// frame-granular storage path merges whole sorted runs into leaves, so
+// fat leaves amortize split/merge churn across far more records, and
+// point lookups still binary-search within a node.
+const btreeDegree = 64
 
 // Item is one key/value pair stored in a B-tree.
 type Item struct {
@@ -144,6 +150,177 @@ func (n *btreeNode) insert(key, val adm.Value) bool {
 		}
 	}
 	return n.children[i].insert(key, val)
+}
+
+// PutBatch merges run — ascending by key, with unique keys — into the
+// tree. Where Put pays one root-to-leaf descent per item, PutBatch
+// descends once per leaf run: consecutive keys bound for the same leaf
+// are merged into it in a single pass, and nodes that overflow are
+// split into however many siblings they need in one step. Existing keys
+// are replaced in place. onNew, when non-nil, is invoked for each item
+// that created a new entry rather than replacing one (the LSM memtable
+// uses it for byte accounting without a per-item pre-lookup). A run
+// that is unsorted or contains duplicate keys corrupts the tree.
+func (t *BTree) PutBatch(run []Item, onNew func(Item)) {
+	if len(run) == 0 {
+		return
+	}
+	if t.root == nil {
+		t.root = &btreeNode{}
+	}
+	t.size += t.root.insertBatch(run, onNew)
+	// The root may come back overfull; split it into as many levels as
+	// the batch requires.
+	for len(t.root.items) > maxItems {
+		promoted, siblings := splitOverfull(t.root)
+		children := make([]*btreeNode, 0, len(siblings)+1)
+		children = append(children, t.root)
+		children = append(children, siblings...)
+		t.root = &btreeNode{items: promoted, children: children}
+	}
+}
+
+// insertBatch merges the sorted run into the subtree rooted at n and
+// returns the number of newly created entries. The node may be left
+// overfull (more than maxItems items); the caller splits it via
+// splitOverfull.
+func (n *btreeNode) insertBatch(run []Item, onNew func(Item)) int {
+	if n.leaf() {
+		return n.mergeLeaf(run, onNew)
+	}
+	// Segment the run across children, replacing items that match
+	// separators in place. Segments are gathered first and processed
+	// right-to-left so splicing a split child's new siblings into
+	// n.items/n.children never shifts a pending segment's child index.
+	type segment struct{ child, lo, hi int }
+	var segBuf [maxItems + 1]segment // one segment per child at most
+	segs := segBuf[:0]
+	i := 0
+	for i < len(run) {
+		c, exact := n.find(run[i].Key)
+		if exact {
+			n.items[c].Val = run[i].Val
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(run) && (c >= len(n.items) || adm.Less(run[j].Key, n.items[c].Key)) {
+			j++
+		}
+		segs = append(segs, segment{child: c, lo: i, hi: j})
+		i = j
+	}
+	inserted := 0
+	for k := len(segs) - 1; k >= 0; k-- {
+		s := segs[k]
+		child := n.children[s.child]
+		inserted += child.insertBatch(run[s.lo:s.hi], onNew)
+		if len(child.items) > maxItems {
+			promoted, siblings := splitOverfull(child)
+			n.items = slices.Insert(n.items, s.child, promoted...)
+			n.children = slices.Insert(n.children, s.child+1, siblings...)
+		}
+	}
+	return inserted
+}
+
+// mergeLeaf merges the sorted run into the leaf's sorted items in one
+// backward pass, returning the number of newly inserted items. The leaf
+// may be left overfull.
+func (n *btreeNode) mergeLeaf(run []Item, onNew func(Item)) int {
+	// Count the keys not already present to size the tail extension.
+	newCount := 0
+	i, j := 0, 0
+	for i < len(n.items) && j < len(run) {
+		switch c := adm.Compare(n.items[i].Key, run[j].Key); {
+		case c < 0:
+			i++
+		case c > 0:
+			newCount++
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	newCount += len(run) - j
+	if newCount == 0 {
+		// Pure replacement: every run key already exists.
+		for _, it := range run {
+			at, _ := n.find(it.Key)
+			n.items[at].Val = it.Val
+		}
+		return 0
+	}
+	old := len(n.items)
+	n.items = slices.Grow(n.items, newCount)[:old+newCount]
+	// Merge from the back so existing items shift right exactly once.
+	i, j = old-1, len(run)-1
+	for w := old + newCount - 1; j >= 0; w-- {
+		if i >= 0 {
+			switch c := adm.Compare(n.items[i].Key, run[j].Key); {
+			case c > 0:
+				n.items[w] = n.items[i]
+				i--
+				continue
+			case c == 0:
+				// Replacement keeps the existing key header, like Put.
+				n.items[w] = Item{n.items[i].Key, run[j].Val}
+				i--
+				j--
+				continue
+			}
+		}
+		n.items[w] = run[j]
+		if onNew != nil {
+			onNew(run[j])
+		}
+		j--
+	}
+	return newCount
+}
+
+// splitOverfull splits a node holding more than maxItems into as many
+// nodes as it needs in one pass: n keeps the leftmost chunk and each
+// further chunk becomes a new right sibling, with promoted[k]
+// separating siblings[k] from what precedes it. Every resulting node
+// holds between minItems and maxItems items, so B-tree invariants need
+// no further rebalancing. The single pass matters: chaining ordinary
+// binary splits would re-copy the remaining tail once per split, going
+// quadratic exactly when a large sorted run lands in one leaf.
+func splitOverfull(n *btreeNode) (promoted []Item, siblings []*btreeNode) {
+	items := n.items
+	children := n.children
+	const chunk = maxItems / 2 // half-full, like an ordinary split
+	est := len(items) / (chunk + 1)
+	promoted = make([]Item, 0, est)
+	siblings = make([]*btreeNode, 0, est)
+	// Chunks alias the overfull node's backing array through
+	// capacity-clipped subslices: no copying, no clearing. The clip
+	// makes any later append into a chunk reallocate, so chunks can
+	// never scribble on one another. The shared array lives until every
+	// chunk node dies — for an LSM memtable that is the next freeze,
+	// which drops the whole tree at once.
+	n.items = items[:chunk:chunk]
+	if len(children) > 0 {
+		n.children = children[: chunk+1 : chunk+1]
+	}
+	pos := chunk
+	for pos < len(items) {
+		promoted = append(promoted, items[pos])
+		pos++
+		size := chunk
+		if rem := len(items) - pos; rem <= maxItems {
+			size = rem // the final sibling takes the whole remainder
+		}
+		s := &btreeNode{items: items[pos : pos+size : pos+size]}
+		if len(children) > 0 {
+			s.children = children[pos : pos+size+1 : pos+size+1]
+		}
+		siblings = append(siblings, s)
+		pos += size
+	}
+	return promoted, siblings
 }
 
 // Delete removes key, reporting whether it was present.

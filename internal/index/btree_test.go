@@ -2,6 +2,7 @@ package index
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"github.com/ideadb/idea/internal/adm"
@@ -225,6 +226,192 @@ func TestBTreeMatchesMapModel(t *testing.T) {
 			t.Fatalf("op %d: len mismatch %d vs %d", op, bt.Len(), len(model))
 		}
 	}
+}
+
+// checkInvariants walks the whole tree verifying the B-tree shape:
+// sorted items, uniform leaf depth, fill bounds on every non-root node,
+// child counts, and separator ordering.
+func checkInvariants(t *testing.T, bt *BTree) {
+	t.Helper()
+	if bt.root == nil {
+		if bt.size != 0 {
+			t.Fatalf("nil root with size %d", bt.size)
+		}
+		return
+	}
+	leafDepth := -1
+	counted := 0
+	var walk func(n *btreeNode, depth int, min, max *adm.Value)
+	walk = func(n *btreeNode, depth int, min, max *adm.Value) {
+		if depth > 0 && (len(n.items) < minItems || len(n.items) > maxItems) {
+			t.Fatalf("node at depth %d has %d items (want %d..%d)", depth, len(n.items), minItems, maxItems)
+		}
+		if depth == 0 && len(n.items) > maxItems {
+			t.Fatalf("root has %d items (max %d)", len(n.items), maxItems)
+		}
+		counted += len(n.items)
+		for i, it := range n.items {
+			if i > 0 && !adm.Less(n.items[i-1].Key, it.Key) {
+				t.Fatalf("items out of order at depth %d", depth)
+			}
+			if min != nil && !adm.Less(*min, it.Key) {
+				t.Fatalf("item below subtree lower bound at depth %d", depth)
+			}
+			if max != nil && !adm.Less(it.Key, *max) {
+				t.Fatalf("item above subtree upper bound at depth %d", depth)
+			}
+		}
+		if n.leaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Fatalf("leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			return
+		}
+		if len(n.children) != len(n.items)+1 {
+			t.Fatalf("node with %d items has %d children", len(n.items), len(n.children))
+		}
+		for i, c := range n.children {
+			lo, hi := min, max
+			if i > 0 {
+				lo = &n.items[i-1].Key
+			}
+			if i < len(n.items) {
+				hi = &n.items[i].Key
+			}
+			walk(c, depth+1, lo, hi)
+		}
+	}
+	walk(bt.root, 0, nil, nil)
+	if counted != bt.size {
+		t.Fatalf("size = %d but tree holds %d items", bt.size, counted)
+	}
+}
+
+func sortedRun(keys []int64, valOffset int64) []Item {
+	run := make([]Item, len(keys))
+	for i, k := range keys {
+		run[i] = Item{adm.Int(k), adm.Int(k + valOffset)}
+	}
+	return run
+}
+
+func TestBTreePutBatchEmptyTree(t *testing.T) {
+	bt := NewBTree()
+	keys := make([]int64, 5000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	newCount := 0
+	bt.PutBatch(sortedRun(keys, 1000), func(Item) { newCount++ })
+	if newCount != len(keys) {
+		t.Fatalf("onNew fired %d times, want %d", newCount, len(keys))
+	}
+	if bt.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", bt.Len(), len(keys))
+	}
+	checkInvariants(t, bt)
+	for _, k := range []int64{0, 1, 2500, 4998, 4999} {
+		if v, ok := bt.Get(adm.Int(k)); !ok || v.IntVal() != k+1000 {
+			t.Fatalf("Get(%d) = %v,%v", k, v, ok)
+		}
+	}
+}
+
+func TestBTreePutBatchReplaces(t *testing.T) {
+	bt := NewBTree()
+	for i := int64(0); i < 100; i++ {
+		bt.Put(adm.Int(i), adm.Int(i))
+	}
+	// Half the batch replaces, half is new; onNew must only see the new.
+	keys := make([]int64, 0, 100)
+	for i := int64(50); i < 150; i++ {
+		keys = append(keys, i)
+	}
+	newCount := 0
+	bt.PutBatch(sortedRun(keys, 7000), func(it Item) {
+		newCount++
+		if it.Key.IntVal() < 100 {
+			t.Fatalf("onNew fired for replaced key %v", it.Key)
+		}
+	})
+	if newCount != 50 {
+		t.Fatalf("onNew fired %d times, want 50", newCount)
+	}
+	if bt.Len() != 150 {
+		t.Fatalf("Len = %d, want 150", bt.Len())
+	}
+	checkInvariants(t, bt)
+	for i := int64(0); i < 150; i++ {
+		want := i
+		if i >= 50 {
+			want = i + 7000
+		}
+		if v, ok := bt.Get(adm.Int(i)); !ok || v.IntVal() != want {
+			t.Fatalf("Get(%d) = %v,%v want %d", i, v, ok, want)
+		}
+	}
+}
+
+// Property test: interleaved batches, point puts, and deletes must agree
+// with a reference map, and the tree shape must stay legal after every
+// batch.
+func TestBTreePutBatchMatchesMapModel(t *testing.T) {
+	bt := NewBTree()
+	model := map[int64]int64{}
+	r := rand.New(rand.NewSource(41))
+	for round := 0; round < 300; round++ {
+		switch r.Intn(4) {
+		case 0, 1: // sorted batch of random size at a random offset
+			n := 1 + r.Intn(400)
+			base := r.Int63n(3000)
+			seen := map[int64]bool{}
+			keys := make([]int64, 0, n)
+			for len(keys) < n {
+				k := base + r.Int63n(600)
+				if !seen[k] {
+					seen[k] = true
+					keys = append(keys, k)
+				}
+			}
+			slices.Sort(keys)
+			val := r.Int63n(1 << 30)
+			run := sortedRun(keys, val)
+			bt.PutBatch(run, nil)
+			for _, k := range keys {
+				model[k] = k + val
+			}
+		case 2: // point put
+			k, v := r.Int63n(3600), r.Int63()
+			bt.Put(adm.Int(k), adm.Int(v))
+			model[k] = v
+		default: // delete
+			k := r.Int63n(3600)
+			_, inModel := model[k]
+			if bt.Delete(adm.Int(k)) != inModel {
+				t.Fatalf("round %d: delete mismatch for %d", round, k)
+			}
+			delete(model, k)
+		}
+		if bt.Len() != len(model) {
+			t.Fatalf("round %d: len %d vs model %d", round, bt.Len(), len(model))
+		}
+	}
+	checkInvariants(t, bt)
+	for k, mv := range model {
+		if v, ok := bt.Get(adm.Int(k)); !ok || v.IntVal() != mv {
+			t.Fatalf("Get(%d) = %v,%v want %d", k, v, ok, mv)
+		}
+	}
+	prev := int64(-1)
+	bt.Ascend(func(it Item) bool {
+		if it.Key.IntVal() <= prev {
+			t.Fatal("order violated after batches")
+		}
+		prev = it.Key.IntVal()
+		return true
+	})
 }
 
 func BenchmarkBTreePut(b *testing.B) {

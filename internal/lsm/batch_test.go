@@ -1,0 +1,218 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/hyracks"
+	"github.com/ideadb/idea/internal/spatial"
+)
+
+// TestUpsertBatchMatchesPerRecord: a batched frame must leave the
+// partition in exactly the state a record-at-a-time loop would,
+// including duplicate keys inside one batch (last occurrence wins) and
+// replacements of earlier batches.
+func TestUpsertBatchMatchesPerRecord(t *testing.T) {
+	batched := NewPartition(smallOpts())
+	serial := NewPartition(smallOpts())
+	r := rand.New(rand.NewSource(7))
+	model := map[int64]int64{}
+	for round := 0; round < 40; round++ {
+		n := 1 + r.Intn(300)
+		keys := make([]adm.Value, n)
+		recs := make([]adm.Value, n)
+		for i := 0; i < n; i++ {
+			k := r.Int63n(500)
+			v := r.Int63()
+			keys[i] = adm.Int(k)
+			recs[i] = rec(k, "v", adm.Int(v))
+			serial.Upsert(keys[i], recs[i])
+			model[k] = v
+		}
+		batched.UpsertBatch(keys, recs)
+	}
+	if got, want := batched.Len(), len(model); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	for k, v := range model {
+		got, ok := batched.Get(adm.Int(k))
+		if !ok || got.Field("v").IntVal() != v {
+			t.Fatalf("Get(%d) = %v,%v want v=%d", k, got, ok, v)
+		}
+		sgot, _ := serial.Get(adm.Int(k))
+		if adm.Compare(got, sgot) != 0 {
+			t.Fatalf("batched and serial disagree for key %d", k)
+		}
+	}
+	// Scans must agree record-for-record (same keys, same order).
+	var bkeys, skeys []int64
+	batched.Snapshot().Scan(func(k, _ adm.Value) bool { bkeys = append(bkeys, k.IntVal()); return true })
+	serial.Snapshot().Scan(func(k, _ adm.Value) bool { skeys = append(skeys, k.IntVal()); return true })
+	if len(bkeys) != len(skeys) {
+		t.Fatalf("scan lengths differ: %d vs %d", len(bkeys), len(skeys))
+	}
+	for i := range bkeys {
+		if bkeys[i] != skeys[i] {
+			t.Fatalf("scan order differs at %d: %d vs %d", i, bkeys[i], skeys[i])
+		}
+	}
+}
+
+// TestUpsertBatchWAL: one batch is one WAL commit but len(batch) log
+// entries — the group-commit amortization the paper describes.
+func TestUpsertBatchWAL(t *testing.T) {
+	p := NewPartition(DefaultOptions())
+	keys := []adm.Value{adm.Int(1), adm.Int(2), adm.Int(3)}
+	recs := []adm.Value{rec(1), rec(2), rec(3)}
+	p.UpsertBatch(keys, recs)
+	if got := p.WAL().LSN(); got != 3 {
+		t.Fatalf("LSN = %d, want 3 (one entry per record)", got)
+	}
+	if got := p.WAL().Commits(); got != 1 {
+		t.Fatalf("Commits = %d, want 1 (one group commit per frame)", got)
+	}
+	if got := p.WAL().Committed(); got != 3 {
+		t.Fatalf("Committed = %d, want 3", got)
+	}
+	if got := p.Stats().Upserts; got != 3 {
+		t.Fatalf("Upserts = %d, want 3", got)
+	}
+}
+
+// TestUpsertBatchFlushThreshold: crossing the memtable budget inside a
+// batch triggers exactly one freeze, checked per batch rather than per
+// record.
+func TestUpsertBatchFlushThreshold(t *testing.T) {
+	p := NewPartition(Options{MemBudget: 4 << 10, MaxComponents: 64})
+	const n = 64
+	keys := make([]adm.Value, n)
+	recs := make([]adm.Value, n)
+	for i := range keys {
+		keys[i] = adm.Int(int64(i))
+		recs[i] = rec(int64(i), "pad", adm.String("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+	}
+	p.UpsertBatch(keys, recs)
+	s := p.Stats()
+	if s.Flushes != 1 {
+		t.Fatalf("Flushes = %d, want exactly 1 per over-budget batch", s.Flushes)
+	}
+	if s.MemEntries != 0 {
+		t.Fatalf("MemEntries = %d, want 0 after freeze", s.MemEntries)
+	}
+	if got := p.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+}
+
+// TestUpsertBatchSecondaryIndexes: batched writes must maintain
+// secondary indexes exactly like per-record writes — replaced records'
+// old entries removed, new entries present, across both index types.
+func TestUpsertBatchSecondaryIndexes(t *testing.T) {
+	p := NewPartition(DefaultOptions())
+	bt := NewBTreeIndex("byCountry", FieldKeyExtractor("country"))
+	rt := NewRTreeIndex("byLoc", FieldRectExtractor("loc"))
+	p.AttachIndex(bt)
+	p.AttachIndex(rt)
+
+	mk := func(id int64, country string, x float64) adm.Value {
+		return rec(id, "country", adm.String(country), "loc", adm.Point(x, x))
+	}
+	p.UpsertBatch(
+		[]adm.Value{adm.Int(1), adm.Int(2), adm.Int(3)},
+		[]adm.Value{mk(1, "US", 1), mk(2, "US", 2), mk(3, "FR", 3)},
+	)
+	if got := len(bt.Lookup(adm.String("US"))); got != 2 {
+		t.Fatalf("US entries = %d, want 2", got)
+	}
+	// Replace 2 (US→DE, moves location) and add 4 in one batch.
+	p.UpsertBatch(
+		[]adm.Value{adm.Int(2), adm.Int(4)},
+		[]adm.Value{mk(2, "DE", 9), mk(4, "FR", 4)},
+	)
+	if got := len(bt.Lookup(adm.String("US"))); got != 1 {
+		t.Fatalf("US entries after replace = %d, want 1", got)
+	}
+	if got := len(bt.Lookup(adm.String("DE"))); got != 1 {
+		t.Fatalf("DE entries = %d, want 1", got)
+	}
+	if got := len(bt.Lookup(adm.String("FR"))); got != 2 {
+		t.Fatalf("FR entries = %d, want 2", got)
+	}
+	// The R-tree must have dropped point (2,2) and gained (9,9).
+	if got := len(rt.Search(spatial.NewRect(1.5, 1.5, 2.5, 2.5))); got != 0 {
+		t.Fatalf("stale spatial entry survives replace: %d hits", got)
+	}
+	if got := len(rt.Search(spatial.NewRect(8.5, 8.5, 9.5, 9.5))); got != 1 {
+		t.Fatalf("moved spatial entry missing: %d hits", got)
+	}
+	if rt.Len() != 4 {
+		t.Fatalf("rtree Len = %d, want 4", rt.Len())
+	}
+}
+
+// TestDatasetUpsertBatch: routing, validation-before-write, and
+// multi-partition grouping.
+func TestDatasetUpsertBatch(t *testing.T) {
+	dt := adm.MustDatatype("T", true, []adm.FieldDef{
+		{Name: "id", Kind: adm.KindString},
+	})
+	ds, err := NewDataset("d", dt, "id", 4, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]adm.Value, 50)
+	for i := range recs {
+		recs[i] = adm.ObjectValue(adm.ObjectFromPairs(
+			"id", adm.String(fmt.Sprintf("k%02d", i)), "v", adm.Int(int64(i))))
+	}
+	if err := ds.UpsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Len(); got != 50 {
+		t.Fatalf("Len = %d, want 50", got)
+	}
+	for i := 0; i < 50; i += 7 {
+		v, ok := ds.Get(adm.String(fmt.Sprintf("k%02d", i)))
+		if !ok || v.Field("v").IntVal() != int64(i) {
+			t.Fatalf("Get(k%02d) = %v,%v", i, v, ok)
+		}
+	}
+	// A record failing validation rejects the batch before any write.
+	bad := append([]adm.Value{}, recs...)
+	bad[25] = adm.ObjectValue(adm.ObjectFromPairs("id", adm.Int(99)))
+	ds2, _ := NewDataset("d2", dt, "id", 4, smallOpts())
+	if err := ds2.UpsertBatch(bad); err == nil {
+		t.Fatal("batch with invalid record must fail")
+	}
+	if got := ds2.Len(); got != 0 {
+		t.Fatalf("failed batch wrote %d records, want 0", got)
+	}
+}
+
+// TestDatasetUpsertFrame: the frame API consumes the frame (spines
+// recycled, arena left to the retained records) and rejects raw-lane
+// frames.
+func TestDatasetUpsertFrame(t *testing.T) {
+	ds, err := NewDataset("d", nil, "id", 2, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spine := hyracks.GetRecordSlice(8)
+	for i := int64(0); i < 8; i++ {
+		spine = append(spine, rec(i, "v", adm.Int(i*10)))
+	}
+	if err := ds.UpsertFrame(hyracks.Frame{Records: spine}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	if v, ok := ds.Get(adm.Int(3)); !ok || v.Field("v").IntVal() != 30 {
+		t.Fatalf("Get(3) = %v,%v", v, ok)
+	}
+	if err := ds.UpsertFrame(hyracks.Frame{Raw: [][]byte{[]byte(`{"id":1}`)}}); err == nil {
+		t.Fatal("raw-lane frame must be rejected")
+	}
+}

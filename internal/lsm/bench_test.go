@@ -1,0 +1,108 @@
+package lsm
+
+import (
+	"testing"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// storageFrame builds one frame's worth of keys and tweet-shaped
+// records starting at base.
+func storageFrame(base int64, n int) (keys, recs []adm.Value) {
+	keys = make([]adm.Value, n)
+	recs = make([]adm.Value, n)
+	for i := 0; i < n; i++ {
+		id := base + int64(i)
+		keys[i] = adm.Int(id)
+		recs[i] = adm.ObjectValue(adm.ObjectFromPairs(
+			"id", adm.Int(id),
+			"text", adm.String("benchmark tweet with some padding text"),
+			"lang", adm.String("en"),
+		))
+	}
+	return keys, recs
+}
+
+// BenchmarkStorageUpsert compares the per-record write path (one WAL
+// append, lock acquisition, and root-to-leaf descent per record, with
+// the frame's single group commit at the end) against the
+// frame-granular UpsertBatch on 1k-record frames. This is the storage
+// half of the feed pipeline in isolation.
+func BenchmarkStorageUpsert(b *testing.B) {
+	const frameSize = 1000
+	// Keys wrap over a bounded space so steady state mixes fresh
+	// inserts with replacements, like a long-running feed.
+	const keySpace = 64 * frameSize
+
+	b.Run("per-record", func(b *testing.B) {
+		p := NewPartition(DefaultOptions())
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.StopTimer()
+		for i := 0; i < b.N; i++ {
+			keys, recs := storageFrame(int64(i*frameSize%keySpace), frameSize)
+			b.StartTimer()
+			for j := range keys {
+				p.Upsert(keys[j], recs[j])
+			}
+			p.WAL().Commit()
+			b.StopTimer()
+		}
+		b.ReportMetric(float64(b.N*frameSize)/b.Elapsed().Seconds(), "records/s")
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		p := NewPartition(DefaultOptions())
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.StopTimer()
+		for i := 0; i < b.N; i++ {
+			keys, recs := storageFrame(int64(i*frameSize%keySpace), frameSize)
+			b.StartTimer()
+			p.UpsertBatch(keys, recs)
+			b.StopTimer()
+		}
+		b.ReportMetric(float64(b.N*frameSize)/b.Elapsed().Seconds(), "records/s")
+	})
+}
+
+// BenchmarkStorageUpsertIndexed is the same comparison with a secondary
+// B-tree index attached, adding the get-before-put old-value pass and
+// index maintenance to both sides.
+func BenchmarkStorageUpsertIndexed(b *testing.B) {
+	const frameSize = 1000
+	const keySpace = 64 * frameSize
+
+	b.Run("per-record", func(b *testing.B) {
+		p := NewPartition(DefaultOptions())
+		p.AttachIndex(NewBTreeIndex("byLang", FieldKeyExtractor("lang")))
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.StopTimer()
+		for i := 0; i < b.N; i++ {
+			keys, recs := storageFrame(int64(i*frameSize%keySpace), frameSize)
+			b.StartTimer()
+			for j := range keys {
+				p.Upsert(keys[j], recs[j])
+			}
+			p.WAL().Commit()
+			b.StopTimer()
+		}
+		b.ReportMetric(float64(b.N*frameSize)/b.Elapsed().Seconds(), "records/s")
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		p := NewPartition(DefaultOptions())
+		p.AttachIndex(NewBTreeIndex("byLang", FieldKeyExtractor("lang")))
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.StopTimer()
+		for i := 0; i < b.N; i++ {
+			keys, recs := storageFrame(int64(i*frameSize%keySpace), frameSize)
+			b.StartTimer()
+			p.UpsertBatch(keys, recs)
+			b.StopTimer()
+		}
+		b.ReportMetric(float64(b.N*frameSize)/b.Elapsed().Seconds(), "records/s")
+	})
+}

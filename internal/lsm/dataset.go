@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/hyracks"
 )
 
 // Dataset is a hash-partitioned collection of records of one datatype,
@@ -89,6 +90,97 @@ func (d *Dataset) Upsert(rec adm.Value) error {
 		return err
 	}
 	d.partitions[d.Route(pk)].Upsert(pk, rec)
+	return nil
+}
+
+// UpsertBatch validates, routes, and stores a whole batch of records,
+// handing each touched partition one frame-granular UpsertBatch (one
+// WAL append+commit, one lock, one bulk memtable insert) instead of a
+// per-record Upsert. Validation runs for the entire batch before
+// anything is written, so a bad record fails the batch without leaving
+// a prefix behind. The caller keeps ownership of recs; the record
+// payloads are retained by storage.
+func (d *Dataset) UpsertBatch(recs []adm.Value) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	// Fast path: one partition means no routing and no regrouping.
+	if len(d.partitions) == 1 {
+		keys := hyracks.GetRecordSlice(len(recs))
+		defer hyracks.PutRecordSlice(keys)
+		prepared := hyracks.GetRecordSlice(len(recs))
+		defer hyracks.PutRecordSlice(prepared)
+		for _, rec := range recs {
+			rec, err := d.prepare(rec)
+			if err != nil {
+				return err
+			}
+			pk, err := d.KeyOf(rec)
+			if err != nil {
+				return err
+			}
+			keys = append(keys, pk)
+			prepared = append(prepared, rec)
+		}
+		d.partitions[0].UpsertBatch(keys, prepared)
+		return nil
+	}
+	perKeys := make([][]adm.Value, len(d.partitions))
+	perRecs := make([][]adm.Value, len(d.partitions))
+	// Return every drawn scratch to the pool on all paths — including a
+	// mid-batch validation error, which would otherwise leak the slices
+	// drawn for partitions grouped so far.
+	defer func() {
+		for t := range perKeys {
+			if perKeys[t] != nil {
+				hyracks.PutRecordSlice(perKeys[t])
+				hyracks.PutRecordSlice(perRecs[t])
+			}
+		}
+	}()
+	for _, rec := range recs {
+		rec, err := d.prepare(rec)
+		if err != nil {
+			return err
+		}
+		pk, err := d.KeyOf(rec)
+		if err != nil {
+			return err
+		}
+		t := d.Route(pk)
+		if perKeys[t] == nil {
+			perKeys[t] = hyracks.GetRecordSlice(len(recs))
+			perRecs[t] = hyracks.GetRecordSlice(len(recs))
+		}
+		perKeys[t] = append(perKeys[t], pk)
+		perRecs[t] = append(perRecs[t], rec)
+	}
+	for t, keys := range perKeys {
+		if keys == nil {
+			continue
+		}
+		d.partitions[t].UpsertBatch(keys, perRecs[t])
+		hyracks.PutRecordSlice(keys)
+		hyracks.PutRecordSlice(perRecs[t])
+		perKeys[t], perRecs[t] = nil, nil
+	}
+	return nil
+}
+
+// UpsertFrame stores a whole dataflow frame. On success the frame is
+// consumed: storage retains its records, so UpsertFrame recycles the
+// spines itself (never the arena — retained values keep it alive) and
+// the caller must not touch the frame afterwards. On error the caller
+// still owns the frame. Raw-lane frames are rejected: records must be
+// parsed before they reach storage.
+func (d *Dataset) UpsertFrame(fr hyracks.Frame) error {
+	if len(fr.Raw) > 0 {
+		return fmt.Errorf("lsm: dataset %s: raw-lane frame reached storage; parse records first", d.name)
+	}
+	if err := d.UpsertBatch(fr.Records); err != nil {
+		return err
+	}
+	hyracks.RecycleFrameSpines(fr)
 	return nil
 }
 

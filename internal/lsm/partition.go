@@ -11,10 +11,26 @@
 // reads from frozen components with no memtable in the path, while any
 // update stream keeps a live memtable (and periodic freezes and merges)
 // in every reader's way.
+//
+// # Frame-granular batch writes
+//
+// The write path is frame-granular: storage consumers hand a whole
+// dataflow frame's records to Partition.UpsertBatch (or a frame to
+// Dataset.UpsertFrame), which costs one WAL append+commit, one
+// partition lock acquisition, one sort, one bulk memtable insert
+// (index.BTree.PutBatch), grouped secondary-index maintenance, and one
+// flush-threshold check for the entire frame. Ownership follows the
+// hyracks frame rules: the call transfers the frame downstream, storage
+// retains the records (keeping their arena alive), the spines are
+// recycled on the storage side — UpsertFrame recycles them itself; a
+// writer calling UpsertBatch recycles after it returns — and the arena
+// is never reset. Per-record Upsert/Insert/Delete remain for point DML
+// and catalog maintenance.
 package lsm
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +115,11 @@ type Partition struct {
 	components []*component // newest first
 	secondary  []SecondaryIndex
 	stats      Stats
+
+	// onNew is the memtable byte-accounting hook handed to
+	// BTree.PutBatch; built once so batch upserts don't allocate a
+	// closure per frame.
+	onNew func(index.Item)
 }
 
 // NewPartition returns an empty partition.
@@ -109,11 +130,15 @@ func NewPartition(opts Options) *Partition {
 	if opts.MaxComponents <= 0 {
 		opts.MaxComponents = DefaultOptions().MaxComponents
 	}
-	return &Partition{
+	p := &Partition{
 		opts: opts,
 		wal:  NewWAL(opts.GroupCommit),
 		mem:  index.NewBTree(),
 	}
+	p.onNew = func(it index.Item) {
+		p.memBytes += it.Key.MemSize() + it.Val.MemSize()
+	}
+	return p
 }
 
 // WAL exposes the partition's log so storage jobs can group-commit once
@@ -164,6 +189,172 @@ func (p *Partition) Delete(key adm.Value) bool {
 	p.stats.Deletes++
 	p.applyLocked(key, adm.Missing())
 	return existed
+}
+
+// itemBatchPool recycles the sorted-run scratch built by UpsertBatch so
+// a steady frame stream reuses one buffer per partition instead of
+// allocating per frame. It holds *[]index.Item boxes; callers keep the
+// box across their get/put pair so pooling itself never allocates.
+var itemBatchPool sync.Pool
+
+func getItemBatch(capacity int) *[]index.Item {
+	if v := itemBatchPool.Get(); v != nil {
+		b := v.(*[]index.Item)
+		*b = (*b)[:0]
+		if cap(*b) >= capacity {
+			return b
+		}
+		*b = make([]index.Item, 0, capacity)
+		return b
+	}
+	b := new([]index.Item)
+	*b = make([]index.Item, 0, capacity)
+	return b
+}
+
+// putItemBatch recycles a batch scratch box. The box's slice must be at
+// its written high-water length: only that prefix is cleared (the
+// pool's invariant is that everything beyond it is already zero), which
+// keeps the per-frame clear proportional to the frame instead of the
+// pooled capacity.
+func putItemBatch(b *[]index.Item) {
+	clear(*b) // don't pin record payloads from the pool
+	*b = (*b)[:0]
+	itemBatchPool.Put(b)
+}
+
+// UpsertBatch inserts or replaces a whole frame's records — keys[i]
+// owns recs[i] — as one storage operation: one WAL append and commit,
+// one partition lock acquisition, one sort of the batch, one bulk
+// memtable insert (BTree.PutBatch), one old-value lookup pass with
+// grouped per-index delete/insert batches, and one flush-threshold
+// check. Duplicate keys within the batch collapse to the last
+// occurrence, matching the record-at-a-time upsert order. The caller
+// keeps ownership of the keys/recs slices (their headers are copied
+// into the memtable), but the record payloads are retained by storage.
+func (p *Partition) UpsertBatch(keys, recs []adm.Value) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	if n != len(recs) {
+		panic("lsm: UpsertBatch keys/recs length mismatch")
+	}
+	p.wal.AppendBatch(n)
+	// Sort (and dedupe last-wins) outside the partition lock so
+	// concurrent readers only wait on the apply itself.
+	batch := getItemBatch(n)
+	items := *batch
+	for i := range keys {
+		items = append(items, index.Item{Key: keys[i], Val: recs[i]})
+	}
+	// Frames from ordered sources often arrive already sorted; a linear
+	// pre-check skips the sort (and the dedupe, since strictly
+	// ascending keys cannot repeat).
+	sorted := true
+	for i := 1; i < len(items); i++ {
+		if adm.Compare(items[i-1].Key, items[i].Key) >= 0 {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		slices.SortStableFunc(items, func(a, b index.Item) int {
+			return adm.Compare(a.Key, b.Key)
+		})
+		w := 0
+		for i := range items {
+			if i+1 < len(items) && adm.Compare(items[i].Key, items[i+1].Key) == 0 {
+				continue // a later occurrence of the same key wins
+			}
+			items[w] = items[i]
+			w++
+		}
+		items = items[:w]
+	}
+	p.mu.Lock()
+	p.stats.Upserts += uint64(n)
+	p.applyBatchLocked(items)
+	p.mu.Unlock()
+	*batch = items[:n] // restore the written length for the clear
+	putItemBatch(batch)
+	p.wal.Commit() // one group commit per frame
+}
+
+// applyBatchLocked bulk-inserts the sorted, unique-keyed run into the
+// memtable, maintains secondary indexes with grouped batches, and
+// checks the flush threshold once for the whole batch.
+func (p *Partition) applyBatchLocked(items []index.Item) {
+	if len(p.secondary) > 0 {
+		p.maintainIndexesBatchLocked(items)
+	}
+	p.mem.PutBatch(items, p.onNew)
+	if p.memBytes >= p.opts.MemBudget {
+		p.freezeLocked()
+	}
+}
+
+// maintainIndexesBatchLocked performs one old-value lookup pass over
+// the batch, then hands each secondary index a grouped delete batch
+// (old entries being replaced) and a grouped insert batch (new live
+// records) — two lock acquisitions per index per frame instead of two
+// per record.
+func (p *Partition) maintainIndexesBatchLocked(items []index.Item) {
+	oldB, oldKeys, oldRecs := getValuePairBatch(len(items))
+	newB, newKeys, newRecs := getValuePairBatch(len(items))
+	for _, it := range items {
+		if old, ok := p.getLocked(it.Key); ok {
+			oldKeys = append(oldKeys, it.Key)
+			oldRecs = append(oldRecs, old)
+		}
+		if !it.Val.IsMissing() {
+			newKeys = append(newKeys, it.Key)
+			newRecs = append(newRecs, it.Val)
+		}
+	}
+	for _, idx := range p.secondary {
+		idx.DeleteBatch(oldKeys, oldRecs)
+	}
+	for _, idx := range p.secondary {
+		idx.InsertBatch(newKeys, newRecs)
+	}
+	putValuePairBatch(oldB, oldKeys, oldRecs)
+	putValuePairBatch(newB, newKeys, newRecs)
+}
+
+// valuePair is a pooled pair of key/record scratch slices for the
+// batched secondary-index maintenance pass. The pair (and its pool box)
+// round-trips through each call so pooling never allocates.
+type valuePair struct {
+	keys, recs []adm.Value
+}
+
+var valuePairPool sync.Pool
+
+func getValuePairBatch(capacity int) (*valuePair, []adm.Value, []adm.Value) {
+	if v := valuePairPool.Get(); v != nil {
+		b := v.(*valuePair)
+		if cap(b.keys) >= capacity {
+			return b, b.keys[:0], b.recs[:0]
+		}
+		b.keys = make([]adm.Value, 0, capacity)
+		b.recs = make([]adm.Value, 0, capacity)
+		return b, b.keys, b.recs
+	}
+	b := &valuePair{
+		keys: make([]adm.Value, 0, capacity),
+		recs: make([]adm.Value, 0, capacity),
+	}
+	return b, b.keys, b.recs
+}
+
+// putValuePairBatch clears only the written prefixes (callers only
+// append, so len is the high-water mark) and recycles the pair.
+func putValuePairBatch(b *valuePair, keys, recs []adm.Value) {
+	clear(keys)
+	clear(recs)
+	b.keys, b.recs = keys[:0], recs[:0]
+	valuePairPool.Put(b)
 }
 
 // applyLocked writes the mutation into the memtable, maintains secondary

@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"slices"
 	"sync"
 
 	"github.com/ideadb/idea/internal/adm"
@@ -19,6 +20,13 @@ type SecondaryIndex interface {
 	Insert(pk, rec adm.Value)
 	// Delete removes the entry previously inserted for (pk, old record).
 	Delete(pk, rec adm.Value)
+	// InsertBatch adds every (pks[i], recs[i]) entry under a single
+	// lock acquisition — the frame-granular write path's grouped
+	// maintenance.
+	InsertBatch(pks, recs []adm.Value)
+	// DeleteBatch removes every (pks[i], recs[i]) entry under a single
+	// lock acquisition.
+	DeleteBatch(pks, recs []adm.Value)
 }
 
 // RectExtractor derives the indexed bounding rectangle from a record
@@ -83,10 +91,42 @@ func (ix *RTreeIndex) Delete(pk, rec adm.Value) {
 		return
 	}
 	ix.mu.Lock()
+	ix.deleteLocked(rect, pk)
+	ix.mu.Unlock()
+}
+
+func (ix *RTreeIndex) deleteLocked(rect spatial.Rect, pk adm.Value) {
 	ix.tree.Delete(rect, func(d any) bool {
 		v, isVal := d.(adm.Value)
 		return isVal && adm.Equal(v, pk)
 	})
+}
+
+// InsertBatch implements SecondaryIndex: one lock for the whole frame.
+func (ix *RTreeIndex) InsertBatch(pks, recs []adm.Value) {
+	if len(pks) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	for i, pk := range pks {
+		if rect, ok := ix.extract(recs[i]); ok {
+			ix.tree.Insert(rect, pk)
+		}
+	}
+	ix.mu.Unlock()
+}
+
+// DeleteBatch implements SecondaryIndex: one lock for the whole frame.
+func (ix *RTreeIndex) DeleteBatch(pks, recs []adm.Value) {
+	if len(pks) == 0 {
+		return
+	}
+	ix.mu.Lock()
+	for i, pk := range pks {
+		if rect, ok := ix.extract(recs[i]); ok {
+			ix.deleteLocked(rect, pk)
+		}
+	}
 	ix.mu.Unlock()
 }
 
@@ -151,6 +191,10 @@ func (ix *BTreeIndex) Insert(pk, rec adm.Value) {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	ix.insertLocked(key, pk)
+}
+
+func (ix *BTreeIndex) insertLocked(key, pk adm.Value) {
 	cur, _ := ix.tree.Get(key)
 	pks := append(append([]adm.Value(nil), cur.ArrayVal()...), pk)
 	ix.tree.Put(key, adm.Array(pks))
@@ -164,6 +208,10 @@ func (ix *BTreeIndex) Delete(pk, rec adm.Value) {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	ix.deleteLocked(key, pk)
+}
+
+func (ix *BTreeIndex) deleteLocked(key, pk adm.Value) {
 	cur, found := ix.tree.Get(key)
 	if !found {
 		return
@@ -175,6 +223,115 @@ func (ix *BTreeIndex) Delete(pk, rec adm.Value) {
 		if !removed && adm.Equal(e, pk) {
 			removed = true
 			continue
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		ix.tree.Delete(key)
+	} else {
+		ix.tree.Put(key, adm.Array(out))
+	}
+}
+
+// groupPairs extracts the secondary key of every record and returns the
+// (key, pk) pairs sorted by key (stable, so pk order within a key
+// matches record order). The batch box comes from the shared item-batch
+// pool; the caller returns it with putItemBatch after restoring the
+// written length.
+func (ix *BTreeIndex) groupPairs(pks, recs []adm.Value) (*[]index.Item, []index.Item) {
+	batch := getItemBatch(len(pks))
+	pairs := *batch
+	for i := range pks {
+		if key, ok := ix.extract(recs[i]); ok {
+			pairs = append(pairs, index.Item{Key: key, Val: pks[i]})
+		}
+	}
+	slices.SortStableFunc(pairs, func(a, b index.Item) int {
+		return adm.Compare(a.Key, b.Key)
+	})
+	return batch, pairs
+}
+
+// InsertBatch implements SecondaryIndex: one lock for the whole frame,
+// and — because entries are grouped by secondary key — one postings
+// rebuild per distinct key instead of one per record. For
+// low-cardinality keys (every tweet sharing a language) the per-record
+// path re-copied the whole postings array once per record; the grouped
+// path copies it once per frame.
+func (ix *BTreeIndex) InsertBatch(pks, recs []adm.Value) {
+	if len(pks) == 0 {
+		return
+	}
+	batch, pairs := ix.groupPairs(pks, recs)
+	ix.mu.Lock()
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && adm.Compare(pairs[i].Key, pairs[j].Key) == 0 {
+			j++
+		}
+		cur, _ := ix.tree.Get(pairs[i].Key)
+		elems := cur.ArrayVal()
+		out := make([]adm.Value, 0, len(elems)+(j-i))
+		out = append(out, elems...)
+		for k := i; k < j; k++ {
+			out = append(out, pairs[k].Val)
+		}
+		ix.tree.Put(pairs[i].Key, adm.Array(out))
+		i = j
+	}
+	ix.mu.Unlock()
+	*batch = pairs
+	putItemBatch(batch)
+}
+
+// DeleteBatch implements SecondaryIndex: one lock for the whole frame
+// and one postings rebuild per distinct key, removing one occurrence
+// per (key, pk) pair like repeated Delete calls would.
+func (ix *BTreeIndex) DeleteBatch(pks, recs []adm.Value) {
+	if len(pks) == 0 {
+		return
+	}
+	batch, pairs := ix.groupPairs(pks, recs)
+	ix.mu.Lock()
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && adm.Compare(pairs[i].Key, pairs[j].Key) == 0 {
+			j++
+		}
+		ix.deleteGroupLocked(pairs[i].Key, pairs[i:j])
+		i = j
+	}
+	ix.mu.Unlock()
+	*batch = pairs
+	putItemBatch(batch)
+}
+
+// deleteGroupLocked removes one postings occurrence per pair (all pairs
+// share the key) in a single rebuild of the postings array.
+func (ix *BTreeIndex) deleteGroupLocked(key adm.Value, pairs []index.Item) {
+	cur, found := ix.tree.Get(key)
+	if !found {
+		return
+	}
+	elems := cur.ArrayVal()
+	out := make([]adm.Value, 0, len(elems))
+	remaining := len(pairs)
+	for _, e := range elems {
+		if remaining > 0 {
+			matched := false
+			for k := range pairs {
+				// Consumed pairs are marked by blanking their key
+				// (extract never yields MISSING keys).
+				if !pairs[k].Key.IsMissing() && adm.Equal(e, pairs[k].Val) {
+					pairs[k].Key = adm.Missing()
+					remaining--
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
 		}
 		out = append(out, e)
 	}

@@ -35,6 +35,21 @@ func (w *WAL) Append() uint64 {
 	return lsn
 }
 
+// AppendBatch records n log entries under one lock acquisition and
+// returns the LSN of the last one. Frame-granular storage writes use it
+// so a whole frame's worth of entries costs one mutex round-trip while
+// the per-record LSN accounting stays real.
+func (w *WAL) AppendBatch(n int) uint64 {
+	if n <= 0 {
+		return w.LSN()
+	}
+	w.mu.Lock()
+	w.lsn += uint64(n)
+	lsn := w.lsn
+	w.mu.Unlock()
+	return lsn
+}
+
 // Commit makes every appended entry durable, waiting out the simulated
 // group-commit latency. Storage jobs call it once per frame, so larger
 // frames amortize the wait exactly like a real group commit.

@@ -99,14 +99,16 @@ func (c *Cluster) executeInsert(ins *sqlpp.Insert) error {
 	if records == nil && src.Kind() == adm.KindObject {
 		records = []adm.Value{src}
 	}
+	if ins.Upsert {
+		// The whole statement lands as one batch per touched partition
+		// (one WAL append+commit, one lock, one bulk memtable insert),
+		// and validation runs before anything is written.
+		return ds.UpsertBatch(records)
+	}
 	for _, rec := range records {
-		var err error
-		if ins.Upsert {
-			err = ds.Upsert(rec)
-		} else {
-			err = ds.Insert(rec)
-		}
-		if err != nil {
+		// INSERT keeps the per-record path: duplicate-key rejection is
+		// checked against records earlier in the same statement too.
+		if err := ds.Insert(rec); err != nil {
 			return err
 		}
 	}
