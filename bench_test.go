@@ -193,7 +193,7 @@ func BenchmarkFeedThroughputNoUDF(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		feeds := c.MustExecute(`START FEED F;`)
+		feeds := c.MustExecute(`START FEED F;`).Feeds()
 		if err := feeds[0].Wait(); err != nil {
 			b.Fatal(err)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,11 +35,12 @@ func main() {
 }
 
 func run(listen string, nodes int) error {
+	ctx := context.Background()
 	c, err := idea.NewCluster(idea.Config{Nodes: nodes})
 	if err != nil {
 		return err
 	}
-	_, err = c.Execute(fmt.Sprintf(`
+	_, err = c.Execute(ctx, fmt.Sprintf(`
 		CREATE TYPE TweetType AS OPEN { id: int64, text: string };
 		CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
 		CREATE TYPE WordType AS OPEN { id: int64, country: string, word: string };
@@ -66,11 +68,11 @@ func run(listen string, nodes int) error {
 	if err != nil {
 		return err
 	}
-	feeds, err := c.Execute(`START FEED TweetFeed;`)
+	results, err := c.Execute(ctx, `START FEED TweetFeed;`)
 	if err != nil {
 		return err
 	}
-	feed := feeds[0]
+	feed := results.Feeds()[0]
 	fmt.Printf("ideafeed: %d-node cluster listening on %s (newline-delimited JSON tweets)\n", nodes, listen)
 	fmt.Println("ideafeed: press Ctrl-C to stop the feed and print results")
 
@@ -82,11 +84,15 @@ func run(listen string, nodes int) error {
 	if err := feed.Stop(); err != nil {
 		return err
 	}
-	ingested, stored, invocations, refresh := feed.Stats()
+	// Final counters stay readable after the stop.
+	stats, err := feed.Stats()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("ideafeed: ingested=%d stored=%d computing-jobs=%d mean-refresh=%v\n",
-		ingested, stored, invocations, refresh)
+		stats.Ingested, stats.Stored, stats.Invocations, stats.MeanRefresh)
 
-	rows, err := c.Query(`
+	rows, err := c.Query(ctx, `
 		SELECT e.safety_check_flag AS flag, count(*) AS num
 		FROM EnrichedTweets e
 		GROUP BY e.safety_check_flag
@@ -95,7 +101,10 @@ func run(listen string, nodes int) error {
 		return err
 	}
 	fmt.Println("ideafeed: enriched tweet flags:")
-	for _, row := range rows {
+	for row, err := range rows.All() {
+		if err != nil {
+			return err
+		}
 		fmt.Printf("  %-6s %d\n", row.Field("flag").Str(), row.Field("num").Int())
 	}
 	return nil

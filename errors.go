@@ -1,0 +1,77 @@
+package idea
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for the public API. Wrap-aware callers use errors.Is;
+// the wrapped message always carries the offending name.
+var (
+	// ErrUnknownDataset reports a reference to a dataset that was never
+	// created (or was dropped).
+	ErrUnknownDataset = errors.New("idea: unknown dataset")
+	// ErrUnknownFunction reports a reference to a function missing from
+	// the catalog.
+	ErrUnknownFunction = errors.New("idea: unknown function")
+	// ErrUnknownFeed reports a feed handle whose feed the manager does
+	// not know (never declared, or dropped).
+	ErrUnknownFeed = errors.New("idea: unknown feed")
+	// ErrFeedNotRunning reports an operation that needs a live pipeline
+	// (Wait, Stop) on a feed that is not running.
+	ErrFeedNotRunning = errors.New("idea: feed is not running")
+)
+
+// StatementError locates a failure inside a multi-statement Execute
+// script: which statement failed (Index, zero-based), where it starts
+// in the script (Pos, byte offset), and a snippet of its text. The
+// underlying cause unwraps, so errors.Is/As work through it.
+type StatementError struct {
+	// Index is the zero-based position of the failing statement among
+	// the script's parsed statements.
+	Index int
+	// Pos is the byte offset of the statement's first token in the
+	// script source.
+	Pos int
+	// Snippet is a short prefix of the failing statement's text.
+	Snippet string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *StatementError) Error() string {
+	return fmt.Sprintf("idea: statement %d (offset %d, %q): %v", e.Index, e.Pos, e.Snippet, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *StatementError) Unwrap() error { return e.Err }
+
+// snippetAt extracts a short single-line fragment of src starting at
+// byte offset pos (clamped), for StatementError.Snippet.
+func snippetAt(src string, pos int) string {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(src) {
+		pos = len(src)
+	}
+	s := src[pos:]
+	const max = 48
+	out := make([]byte, 0, max+3)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\n' || c == '\r' || c == '\t' {
+			c = ' '
+		}
+		// Collapse runs of spaces so multi-line DDL stays readable.
+		if c == ' ' && len(out) > 0 && out[len(out)-1] == ' ' {
+			continue
+		}
+		if len(out) >= max {
+			return string(out) + "..."
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

@@ -1,6 +1,7 @@
 package idea_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,17 +41,20 @@ func Example() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	feeds := c.MustExecute(`START FEED TweetFeed;`)
+	feeds := c.MustExecute(`START FEED TweetFeed;`).Feeds()
 	if err := feeds[0].Wait(); err != nil {
 		log.Fatal(err)
 	}
-	rows, err := c.Query(`
+	rows, err := c.Query(context.Background(), `
 		SELECT e.id AS id, e.safety_check_flag AS flag
 		FROM EnrichedTweets e ORDER BY e.id`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, row := range rows {
+	for row, err := range rows.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("tweet %d: %s\n", row.Field("id").Int(), row.Field("flag").Str())
 	}
 	// Output:
@@ -71,10 +75,16 @@ func ExampleCluster_Query() {
 		CREATE FUNCTION shout(t) { upper(t.text) };
 		INSERT INTO Tweets ([{"id": 1, "text": "let there be light"}]);
 	`)
-	rows, err := c.Query(`SELECT VALUE shout(t) FROM Tweets t`)
+	rows, err := c.Query(context.Background(), `SELECT VALUE shout(t) FROM Tweets t`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(rows[0].Str())
+	defer rows.Close()
+	for rows.Next() {
+		fmt.Println(rows.Value().Str())
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
 	// Output: LET THERE BE LIGHT
 }

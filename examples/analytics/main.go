@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -70,21 +71,22 @@ func main() {
 		}); err != nil {
 			log.Fatal(err)
 		}
-		feeds := c.MustExecute(`START FEED ` + feedName + `;`)
-		if err := feeds[0].Wait(); err != nil {
+		feed := c.MustExecute(`START FEED ` + feedName + `;`).Feeds()[0]
+		if err := feed.Wait(); err != nil {
 			log.Fatal(err)
 		}
 	}
+	ctx := context.Background()
 
 	// Option 1: enrich during querying (Figure 9).
 	lazyQ := `
 		SELECT tweet.country Country, count(tweet) Num
 		FROM Tweets tweet
 		LET enrichedTweet = tweetSafetyCheck(tweet)[0]
-		WHERE enrichedTweet.safety_check_flag = "Red"
+		WHERE enrichedTweet.safety_check_flag = $flag
 		GROUP BY tweet.country ORDER BY tweet.country`
 	start := time.Now()
-	lazyRows, err := c.Query(lazyQ)
+	lazyRows, err := runQuery(ctx, c, lazyQ, idea.Named("flag", "Red"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,10 +96,10 @@ func main() {
 	eagerQ := `
 		SELECT e.country Country, count(e) Num
 		FROM EnrichedTweets e
-		WHERE e.safety_check_flag = "Red"
+		WHERE e.safety_check_flag = $flag
 		GROUP BY e.country ORDER BY e.country`
 	start = time.Now()
-	eagerRows, err := c.Query(eagerQ)
+	eagerRows, err := runQuery(ctx, c, eagerQ, idea.Named("flag", "Red"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,4 +116,14 @@ func main() {
 	fmt.Printf("Option 2 (enriched at ingestion):   %v\n", eagerTime.Round(time.Microsecond))
 	fmt.Printf("eager speedup: %.1fx per analytical query\n",
 		lazyTime.Seconds()/eagerTime.Seconds())
+}
+
+// runQuery drains a parameterized streaming query into a slice (these
+// grouped results are tiny — a handful of country rows).
+func runQuery(ctx context.Context, c *idea.Cluster, q string, args ...any) ([]idea.Value, error) {
+	rows, err := c.Query(ctx, q, args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Collect()
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -56,7 +57,7 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	feeds := c.MustExecute(`START FEED TweetFeed;`)
+	feed := c.MustExecute(`START FEED TweetFeed;`).Feeds()[0]
 
 	// Tweets clustered near the origin.
 	go func() {
@@ -66,7 +67,7 @@ func main() {
 				i, r.Float64()*4-2, r.Float64()*4-2))
 		}
 		// A brand-new monument appears mid-feed at a far-away spot...
-		if _, err := c.Execute(`UPSERT INTO monumentList ([
+		if _, err := c.Execute(context.Background(), `UPSERT INTO monumentList ([
 			{"monument_id": "brand-new", "monument_location": [150.0, 80.0]}
 		]);`); err != nil {
 			log.Fatal(err)
@@ -79,19 +80,23 @@ func main() {
 		}
 		close(ch)
 	}()
-	if err := feeds[0].Wait(); err != nil {
+	if err := feed.Wait(); err != nil {
 		log.Fatal(err)
 	}
 
 	start := time.Now()
-	rows, err := c.Query(`
+	rows, err := c.Query(context.Background(), `
 		SELECT VALUE count(*) FROM EnrichedTweets e
 		WHERE array_length(e.nearby_monuments) > 0`)
 	if err != nil {
 		log.Fatal(err)
 	}
+	vals, err := rows.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("tweets with nearby monuments: %d of 1200 (query took %v)\n",
-		rows[0].Int(), time.Since(start).Round(time.Millisecond))
+		vals[0].Int(), time.Since(start).Round(time.Millisecond))
 
 	rec, _, err := c.Get("EnrichedTweets", idea.Int64(1199))
 	if err != nil {

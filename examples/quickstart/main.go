@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,14 +55,18 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	feeds := c.MustExecute(`START FEED TweetFeed;`)
-	if err := feeds[0].Wait(); err != nil {
+	feed := c.MustExecute(`START FEED TweetFeed;`).Feeds()[0]
+	if err := feed.Wait(); err != nil {
 		log.Fatal(err)
 	}
-	_, stored, jobs, _ := feeds[0].Stats()
-	fmt.Printf("stored %d enriched tweets via %d computing-job invocations\n", stored, jobs)
+	stats, err := feed.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored %d enriched tweets via %d computing-job invocations\n",
+		stats.Stored, stats.Invocations)
 
-	rows, err := c.Query(`
+	rows, err := c.Query(context.Background(), `
 		SELECT e.safety_check_flag AS flag, count(*) AS num
 		FROM EnrichedTweets e
 		GROUP BY e.safety_check_flag
@@ -69,7 +74,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, row := range rows {
+	for row, err := range rows.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-6s %d\n", row.Field("flag").Str(), row.Field("num").Int())
 	}
 }

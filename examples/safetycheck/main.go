@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -49,7 +50,7 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	feeds := c.MustExecute(`START FEED TweetFeed;`)
+	feed := c.MustExecute(`START FEED TweetFeed;`).Feeds()[0]
 
 	// Phase 1: "storm" is not yet a sensitive word.
 	send := func(base, n int, text string) {
@@ -70,7 +71,7 @@ func main() {
 	// Phase 2: the same text is now flagged Red by later batches.
 	send(1000, 500, "storm")
 	close(ch)
-	if err := feeds[0].Wait(); err != nil {
+	if err := feed.Wait(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -81,13 +82,19 @@ func main() {
 		}
 		fmt.Printf("tweet %4d: flag=%s\n", probe, rec.Field("safety_check_flag").Str())
 	}
-	rows, err := c.Query(`
+	// Parameter binding keeps the probe query free of value splicing.
+	rows, err := c.Query(context.Background(), `
 		SELECT e.safety_check_flag AS flag, count(*) AS num
-		FROM EnrichedTweets e GROUP BY e.safety_check_flag ORDER BY e.safety_check_flag`)
+		FROM EnrichedTweets e WHERE e.country = $country
+		GROUP BY e.safety_check_flag ORDER BY e.safety_check_flag`,
+		idea.Named("country", "US"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, row := range rows {
+	for row, err := range rows.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-6s %d\n", row.Field("flag").Str(), row.Field("num").Int())
 	}
 }

@@ -234,26 +234,58 @@ func (f *Feed) Stop() error { return f.c.mgr.StopFeed(f.name) }
 func (f *Feed) Wait() error {
 	inner, ok := f.c.mgr.Feed(f.name)
 	if !ok {
-		return fmt.Errorf("idea: feed %q is not running", f.name)
+		return fmt.Errorf("%w: %q", ErrFeedNotRunning, f.name)
 	}
 	return inner.Wait()
 }
 
-// Stats reports the feed's live counters.
-func (f *Feed) Stats() (ingested, stored, invocations int64, refresh time.Duration) {
-	inner, ok := f.c.mgr.Feed(f.name)
-	if !ok {
-		return 0, 0, 0, 0
+// FeedStats is a snapshot of a feed pipeline's counters.
+type FeedStats struct {
+	// Ingested counts records consumed by computing jobs.
+	Ingested int64
+	// Stored counts records written to storage partitions.
+	Stored int64
+	// ParseErrors counts malformed records dropped at parse.
+	ParseErrors int64
+	// Invocations counts computing-job invocations.
+	Invocations int64
+	// MeanRefresh is the mean computing-job duration — the paper's
+	// refresh-period metric (Figure 26).
+	MeanRefresh time.Duration
+	// Running reports whether the pipeline is still live; false means
+	// the counters are the feed's final numbers.
+	Running bool
+}
+
+// Stats reports the feed's counters. A running feed reports live
+// numbers; a stopped feed reports its final numbers (Running false).
+// The error is non-nil — wrapping ErrUnknownFeed or ErrFeedNotRunning —
+// when the manager has nothing to report: the feed was never declared,
+// or was declared but never started.
+func (f *Feed) Stats() (FeedStats, error) {
+	inner, running, known := f.c.mgr.Lookup(f.name)
+	if !known {
+		return FeedStats{}, fmt.Errorf("%w: %q", ErrUnknownFeed, f.name)
+	}
+	if inner == nil {
+		return FeedStats{}, fmt.Errorf("%w: %q never started", ErrFeedNotRunning, f.name)
 	}
 	s := inner.Stats()
-	return s.Ingested.Load(), s.Stored.Load(), s.Invocations.Load(), s.RefreshPeriod()
+	return FeedStats{
+		Ingested:    s.Ingested.Load(),
+		Stored:      s.Stored.Load(),
+		ParseErrors: s.ParseErrors.Load(),
+		Invocations: s.Invocations.Load(),
+		MeanRefresh: s.RefreshPeriod(),
+		Running:     running,
+	}, nil
 }
 
 // DatasetLen returns the number of live records in a dataset.
 func (c *Cluster) DatasetLen(name string) (int, error) {
 	ds, ok := c.inner.Dataset(name)
 	if !ok {
-		return 0, fmt.Errorf("idea: unknown dataset %q", name)
+		return 0, fmt.Errorf("%w %q", ErrUnknownDataset, name)
 	}
 	return ds.Len(), nil
 }
@@ -262,7 +294,7 @@ func (c *Cluster) DatasetLen(name string) (int, error) {
 func (c *Cluster) Get(dataset string, pk Value) (Value, bool, error) {
 	ds, ok := c.inner.Dataset(dataset)
 	if !ok {
-		return Value{}, false, fmt.Errorf("idea: unknown dataset %q", dataset)
+		return Value{}, false, fmt.Errorf("%w %q", ErrUnknownDataset, dataset)
 	}
 	rec, found := ds.Get(pk.v)
 	return Value{rec}, found, nil
@@ -274,7 +306,7 @@ func (c *Cluster) Get(dataset string, pk Value) (Value, bool, error) {
 func (c *Cluster) CallFunction(name string, args ...Value) (Value, error) {
 	fn, ok := c.inner.Function(name)
 	if !ok {
-		return Value{}, fmt.Errorf("idea: unknown function %q", name)
+		return Value{}, fmt.Errorf("%w %q", ErrUnknownFunction, name)
 	}
 	converted := make([]adm.Value, len(args))
 	for i, a := range args {

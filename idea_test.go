@@ -1,11 +1,28 @@
 package idea
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
 	"time"
 )
+
+// queryVals drains a streaming query into a slice for assertion-heavy
+// tests.
+func queryVals(t *testing.T, c *Cluster, q string, args ...any) []Value {
+	t.Helper()
+	rows, err := c.Query(context.Background(), q, args...)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	vals, err := rows.Collect()
+	if err != nil {
+		t.Fatalf("Collect(%q): %v", q, err)
+	}
+	return vals
+}
 
 // newTestCluster returns a fast 2-node cluster.
 func newTestCluster(t *testing.T) *Cluster {
@@ -44,28 +61,37 @@ INSERT INTO SensitiveWords ([
 `
 
 func TestExecuteDDLAndInsert(t *testing.T) {
+	ctx := context.Background()
 	c := newTestCluster(t)
-	if _, err := c.Execute(paperSchema); err != nil {
+	results, err := c.Execute(ctx, paperSchema)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if got := results.RowsAffected(); got != 2 {
+		t.Errorf("RowsAffected = %d, want 2", got)
 	}
 	n, err := c.DatasetLen("SensitiveWords")
 	if err != nil || n != 2 {
 		t.Fatalf("SensitiveWords len = %d, %v", n, err)
 	}
 	// Duplicate type fails cleanly.
-	if _, err := c.Execute(`CREATE TYPE TweetType AS OPEN { id: int64 };`); err == nil {
+	if _, err := c.Execute(ctx, `CREATE TYPE TweetType AS OPEN { id: int64 };`); err == nil {
 		t.Error("duplicate type should fail")
 	}
 	// INSERT duplicate key fails; UPSERT succeeds.
-	if _, err := c.Execute(`INSERT INTO SensitiveWords ([{"id": 1, "country": "US", "word": "x"}]);`); err == nil {
+	if _, err := c.Execute(ctx, `INSERT INTO SensitiveWords ([{"id": 1, "country": "US", "word": "x"}]);`); err == nil {
 		t.Error("duplicate INSERT should fail")
 	}
-	if _, err := c.Execute(`UPSERT INTO SensitiveWords ([{"id": 1, "country": "US", "word": "blast"}]);`); err != nil {
+	if _, err := c.Execute(ctx, `UPSERT INTO SensitiveWords ([{"id": 1, "country": "US", "word": "blast"}]);`); err != nil {
 		t.Errorf("UPSERT failed: %v", err)
 	}
 	rec, found, err := c.Get("SensitiveWords", Int64(1))
 	if err != nil || !found || rec.Field("word").Str() != "blast" {
 		t.Errorf("Get after upsert = %v %v %v", rec, found, err)
+	}
+	// Unknown datasets report the typed error.
+	if _, err := c.DatasetLen("NoSuch"); !errors.Is(err, ErrUnknownDataset) {
+		t.Errorf("DatasetLen error = %v, want ErrUnknownDataset", err)
 	}
 }
 
@@ -77,16 +103,14 @@ func TestQueryWithUDF(t *testing.T) {
 		{"id": 2, "text": "nice day", "country": "US"},
 		{"id": 3, "text": "a bomb scene", "country": "DE"}
 	]);`)
-	// The paper's Figure 9 analytical query (Option 1).
-	rows, err := c.Query(`
+	// The paper's Figure 9 analytical query (Option 1), with the flag
+	// bound as a named parameter.
+	rows := queryVals(t, c, `
 		SELECT tweet.country Country, count(tweet) Num
 		FROM Tweets tweet
 		LET enrichedTweet = tweetSafetyCheck(tweet)[0]
-		WHERE enrichedTweet.safety_check_flag = "Red"
-		GROUP BY tweet.country`)
-	if err != nil {
-		t.Fatal(err)
-	}
+		WHERE enrichedTweet.safety_check_flag = $flag
+		GROUP BY tweet.country`, Named("flag", "Red"))
 	if len(rows) != 1 {
 		t.Fatalf("rows = %d: %v", len(rows), rows)
 	}
@@ -94,7 +118,7 @@ func TestQueryWithUDF(t *testing.T) {
 		t.Errorf("row = %s", rows[0])
 	}
 	// Query rejects non-SELECT.
-	if _, err := c.Query(`CREATE TYPE X AS OPEN { id: int64 };`); err == nil {
+	if _, err := c.Query(context.Background(), `CREATE TYPE X AS OPEN { id: int64 };`); err == nil {
 		t.Error("Query should reject DDL")
 	}
 }
@@ -124,25 +148,27 @@ func TestEndToEndFeedWithEnrichment(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	feeds := c.MustExecute(`START FEED TweetFeed;`)
+	feeds := c.MustExecute(`START FEED TweetFeed;`).Feeds()
 	if len(feeds) != 1 {
 		t.Fatalf("feeds = %d", len(feeds))
 	}
 	if err := feeds[0].Wait(); err != nil {
 		t.Fatal(err)
 	}
-	ingested, stored, invocations, refresh := feeds[0].Stats()
-	if stored != 500 || ingested != 500 {
-		t.Errorf("stats: ingested=%d stored=%d", ingested, stored)
-	}
-	if invocations < 5 {
-		t.Errorf("invocations = %d", invocations)
-	}
-	_ = refresh
-	red, err := c.Query(`SELECT VALUE count(*) FROM EnrichedTweets e WHERE e.safety_check_flag = "Red"`)
+	stats, err := feeds[0].Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
+	if stats.Stored != 500 || stats.Ingested != 500 {
+		t.Errorf("stats: ingested=%d stored=%d", stats.Ingested, stats.Stored)
+	}
+	if stats.Invocations < 5 {
+		t.Errorf("invocations = %d", stats.Invocations)
+	}
+	if !stats.Running {
+		t.Error("feed should report running before stop")
+	}
+	red := queryVals(t, c, `SELECT VALUE count(*) FROM EnrichedTweets e WHERE e.safety_check_flag = "Red"`)
 	if red[0].Int() != 50 {
 		t.Errorf("red tweets = %d, want 50", red[0].Int())
 	}
@@ -172,7 +198,7 @@ func TestNativeUDFViaPublicAPI(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	feeds := c.MustExecute(`START FEED F;`)
+	feeds := c.MustExecute(`START FEED F;`).Feeds()
 	if err := feeds[0].Wait(); err != nil {
 		t.Fatal(err)
 	}
@@ -210,10 +236,7 @@ func TestLibraryFunction(t *testing.T) {
 		CREATE DATASET People(T) PRIMARY KEY id;
 		INSERT INTO People ([{"id": 1, "name": "ada"}]);
 	`)
-	rows, err := c.Query(`SELECT VALUE strlib#shout(p.name) FROM People p`)
-	if err != nil {
-		t.Fatal(err)
-	}
+	rows := queryVals(t, c, `SELECT VALUE strlib#shout(p.name) FROM People p`)
 	if rows[0].Str() != "ADA!" {
 		t.Errorf("got %s", rows[0])
 	}
@@ -299,10 +322,10 @@ func TestStopFeedViaExecute(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if _, err := c.Execute(`STOP FEED F;`); err != nil {
+	if _, err := c.Execute(context.Background(), `STOP FEED F;`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Execute(`STOP FEED F;`); err == nil {
+	if _, err := c.Execute(context.Background(), `STOP FEED F;`); err == nil {
 		t.Error("stopping a stopped feed should fail")
 	}
 }

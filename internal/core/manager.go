@@ -30,6 +30,10 @@ type managedFeed struct {
 	dataset string
 	fn      string
 	running *Feed
+	// last is the most recent pipeline, retained after StopFeed so
+	// final statistics stay readable (a stopped feed's counters are the
+	// numbers operators actually want).
+	last *Feed
 }
 
 // NewManager returns a Manager bound to the cluster.
@@ -135,6 +139,7 @@ func (m *Manager) StartFeed(ctx context.Context, name string) (*Feed, error) {
 	}
 	m.mu.Lock()
 	mf.running = f
+	mf.last = f
 	m.mu.Unlock()
 	return f, nil
 }
@@ -163,4 +168,22 @@ func (m *Manager) Feed(name string) (*Feed, bool) {
 		return nil, false
 	}
 	return mf.running, true
+}
+
+// Lookup resolves a feed by name for statistics: it returns the
+// running pipeline, or — after a stop — the most recent one, so final
+// counters remain readable. known is false for names never declared
+// via CREATE FEED; f may be nil for a declared feed that never
+// started.
+func (m *Manager) Lookup(name string) (f *Feed, running, known bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mf, ok := m.feeds[name]
+	if !ok {
+		return nil, false, false
+	}
+	if mf.running != nil {
+		return mf.running, true, true
+	}
+	return mf.last, false, true
 }

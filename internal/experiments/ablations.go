@@ -115,21 +115,23 @@ func ApproachesComparison(opts Options) (*Table, error) {
 		batchRecs = batchRecs[:0]
 		return nil
 	}
-	var ferr error
-	staged.ScanAll(func(_, rec adm.Value) bool {
+	// The pull cursor makes the batch loop plain sequential code — no
+	// error smuggling out of a callback.
+	sc := staged.Scan()
+	for {
+		_, rec, ok := sc.Next()
+		if !ok {
+			break
+		}
 		batchRecs = append(batchRecs, rec)
 		if len(batchRecs) >= batch16X {
-			if ferr = flush(); ferr != nil {
-				return false
+			if err := flush(); err != nil {
+				return nil, err
 			}
 		}
-		return true
-	})
-	if ferr == nil {
-		ferr = flush()
 	}
-	if ferr != nil {
-		return nil, ferr
+	if err := flush(); err != nil {
+		return nil, err
 	}
 	// End-to-end: feed time plus enrichment-copy time.
 	total2 := float64(tweets)/res2.throughput + time.Since(stageStart).Seconds()

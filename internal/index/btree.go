@@ -323,6 +323,94 @@ func splitOverfull(n *btreeNode) (promoted []Item, siblings []*btreeNode) {
 	return promoted, siblings
 }
 
+// Cursor returns a pull iterator positioned before the smallest item.
+// It walks the tree in key order without materializing items into a
+// slice — the read path for frozen LSM memtables and streaming query
+// scans. The tree must not be mutated while the cursor is in use.
+func (t *BTree) Cursor() *Cursor {
+	c := &Cursor{}
+	c.stack = c.buf[:0]
+	if t.root != nil {
+		c.descendFirst(t.root)
+	}
+	return c
+}
+
+// CursorAt returns a cursor positioned before the first item whose key
+// is >= from.
+func (t *BTree) CursorAt(from adm.Value) *Cursor {
+	c := &Cursor{}
+	c.stack = c.buf[:0]
+	n := t.root
+	for n != nil {
+		i, ok := n.find(from)
+		c.stack = append(c.stack, cursorFrame{node: n, idx: i})
+		if ok || n.leaf() {
+			break
+		}
+		// The next item at this node comes after the subtree we are
+		// descending into; idx already points at it.
+		n = n.children[i]
+	}
+	// A leaf frame may be positioned past its last item; Next pops
+	// exhausted frames itself.
+	return c
+}
+
+// cursorFrame is one level of a cursor's descent: node plus the index
+// of the next item to yield there.
+type cursorFrame struct {
+	node *btreeNode
+	idx  int
+}
+
+// Cursor iterates a BTree in ascending key order, one item per Next
+// call. The zero value is not usable; obtain cursors from
+// BTree.Cursor/CursorAt.
+type Cursor struct {
+	stack []cursorFrame
+	buf   [8]cursorFrame // inline storage: tree heights stay tiny
+}
+
+// descendFirst pushes the path to the leftmost leaf of the subtree.
+func (c *Cursor) descendFirst(n *btreeNode) {
+	for {
+		c.stack = append(c.stack, cursorFrame{node: n})
+		if n.leaf() {
+			return
+		}
+		n = n.children[0]
+	}
+}
+
+// Next returns the next item in key order.
+func (c *Cursor) Next() (Item, bool) {
+	for len(c.stack) > 0 {
+		top := &c.stack[len(c.stack)-1]
+		n := top.node
+		if n.leaf() {
+			if top.idx < len(n.items) {
+				it := n.items[top.idx]
+				top.idx++
+				return it, true
+			}
+			c.stack = c.stack[:len(c.stack)-1]
+			continue
+		}
+		if top.idx < len(n.items) {
+			it := n.items[top.idx]
+			top.idx++
+			// top may be invalidated by the appends in descendFirst;
+			// capture the child before growing the stack.
+			child := n.children[top.idx]
+			c.descendFirst(child)
+			return it, true
+		}
+		c.stack = c.stack[:len(c.stack)-1]
+	}
+	return Item{}, false
+}
+
 // Delete removes key, reporting whether it was present.
 func (t *BTree) Delete(key adm.Value) bool {
 	if t.root == nil {

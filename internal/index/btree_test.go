@@ -433,3 +433,105 @@ func BenchmarkBTreeGet(b *testing.B) {
 		bt.Get(adm.Int(int64(i % 100000)))
 	}
 }
+
+func TestBTreeCursorMatchesAscend(t *testing.T) {
+	for _, n := range []int{0, 1, 7, btreeDegree, 500, 5000} {
+		bt := NewBTree()
+		for i := 0; i < n; i++ {
+			// Shuffled-ish insertion order to exercise splits.
+			k := int64((i * 2654435761) % (n*3 + 1))
+			bt.Put(adm.Int(k), adm.Int(k))
+		}
+		var want []int64
+		bt.Ascend(func(it Item) bool {
+			want = append(want, it.Key.IntVal())
+			return true
+		})
+		cu := bt.Cursor()
+		var got []int64
+		for {
+			it, ok := cu.Next()
+			if !ok {
+				break
+			}
+			got = append(got, it.Key.IntVal())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: cursor yielded %d items, Ascend %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: item %d = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBTreeCursorAfterPutBatch(t *testing.T) {
+	bt := NewBTree()
+	bt.PutBatch(sortedRun([]int64{1, 5, 9, 13, 17}, 0), nil)
+	var keys []int64
+	for i := int64(0); i < 2000; i += 2 {
+		keys = append(keys, i)
+	}
+	bt.PutBatch(sortedRun(keys, 100), nil)
+	cu := bt.Cursor()
+	prev := int64(-1)
+	count := 0
+	for {
+		it, ok := cu.Next()
+		if !ok {
+			break
+		}
+		if it.Key.IntVal() <= prev {
+			t.Fatalf("cursor order violated: %d after %d", it.Key.IntVal(), prev)
+		}
+		prev = it.Key.IntVal()
+		count++
+	}
+	if count != bt.Len() {
+		t.Fatalf("cursor yielded %d items, Len() = %d", count, bt.Len())
+	}
+}
+
+func TestBTreeCursorAt(t *testing.T) {
+	bt := NewBTree()
+	for i := int64(0); i < 1000; i += 2 { // even keys only
+		bt.Put(adm.Int(i), adm.Int(i))
+	}
+	for _, from := range []int64{-1, 0, 1, 2, 499, 500, 997, 998, 999} {
+		cu := bt.CursorAt(adm.Int(from))
+		it, ok := cu.Next()
+		want := from
+		if want%2 != 0 {
+			want++
+		}
+		if want < 0 {
+			want = 0
+		}
+		if want > 998 {
+			if ok {
+				t.Fatalf("CursorAt(%d): got %v, want exhausted", from, it.Key)
+			}
+			continue
+		}
+		if !ok || it.Key.IntVal() != want {
+			t.Fatalf("CursorAt(%d) first = %v,%v want %d", from, it.Key, ok, want)
+		}
+		// The remainder must continue in order from there.
+		prev := it.Key.IntVal()
+		for {
+			it, ok := cu.Next()
+			if !ok {
+				break
+			}
+			if it.Key.IntVal() != prev+2 {
+				t.Fatalf("CursorAt(%d): %d after %d", from, it.Key.IntVal(), prev)
+			}
+			prev = it.Key.IntVal()
+		}
+		if prev != 998 {
+			t.Fatalf("CursorAt(%d) ended at %d", from, prev)
+		}
+	}
+}

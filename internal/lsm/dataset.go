@@ -228,18 +228,58 @@ func (d *Dataset) SnapshotAll() []*Snapshot {
 // ScanAll visits every live record across partitions (partition by
 // partition, each in key order) until fn returns false.
 func (d *Dataset) ScanAll(fn func(key, rec adm.Value) bool) {
-	for _, s := range d.SnapshotAll() {
-		stop := false
-		s.Scan(func(k, r adm.Value) bool {
-			if !fn(k, r) {
-				stop = true
-				return false
-			}
-			return true
-		})
-		if stop {
+	sc := d.Scan()
+	for {
+		k, r, ok := sc.Next()
+		if !ok {
 			return
 		}
+		if !fn(k, r) {
+			return
+		}
+	}
+}
+
+// Scan returns a pull cursor over the dataset's live records (partition
+// by partition, each partition in primary-key order). The cursor reads
+// from a snapshot taken at call time and never copies the dataset into
+// a slice: each pull walks the underlying memtable trees and sorted
+// runs directly, so a consumer that stops after k records pays O(k),
+// not O(dataset). This is the scan operator under the streaming query
+// path.
+func (d *Dataset) Scan() *ScanCursor {
+	return NewScanCursor(d.SnapshotAll())
+}
+
+// NewScanCursor streams previously captured partition snapshots — the
+// query engine builds cursors over its pinned snapshots so repeated
+// scans inside one evaluation observe the same data (record-level
+// consistency).
+func NewScanCursor(snaps []*Snapshot) *ScanCursor {
+	return &ScanCursor{snaps: snaps}
+}
+
+// ScanCursor streams a dataset's live records across partitions.
+type ScanCursor struct {
+	snaps []*Snapshot
+	cur   *Cursor
+	i     int
+}
+
+// Next returns the next live record.
+func (sc *ScanCursor) Next() (key, rec adm.Value, ok bool) {
+	for {
+		if sc.cur == nil {
+			if sc.i >= len(sc.snaps) {
+				return adm.Value{}, adm.Value{}, false
+			}
+			sc.cur = sc.snaps[sc.i].Cursor()
+			sc.i++
+		}
+		if k, r, ok := sc.cur.Next(); ok {
+			return k, r, true
+		}
+		sc.cur = nil
 	}
 }
 

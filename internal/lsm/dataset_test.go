@@ -258,3 +258,34 @@ func TestDatasetStatsAggregation(t *testing.T) {
 		t.Errorf("aggregated stats = %+v", st)
 	}
 }
+
+func TestDatasetScanCursor(t *testing.T) {
+	ds, err := NewDataset("D", nil, "id", 3, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 400; i++ {
+		if err := ds.Upsert(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds.Delete(adm.Int(7))
+	seen := make(map[int64]bool)
+	sc := ds.Scan()
+	for {
+		k, r, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if seen[k.IntVal()] {
+			t.Fatalf("key %d seen twice", k.IntVal())
+		}
+		if r.Field("id").IntVal() != k.IntVal() {
+			t.Fatalf("key %d carries record %v", k.IntVal(), r)
+		}
+		seen[k.IntVal()] = true
+	}
+	if len(seen) != 399 || seen[7] {
+		t.Fatalf("scan cursor saw %d records (deleted 7 present: %v)", len(seen), seen[7])
+	}
+}

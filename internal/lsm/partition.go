@@ -60,12 +60,18 @@ func DefaultOptions() Options {
 	}
 }
 
-// component is one immutable sorted run.
+// component is one immutable sorted run: either a frozen memtable
+// B-tree (freeze is O(1) — the tree is detached, never copied) or a
+// flat item slice (the output of a tiered merge).
 type component struct {
 	items []index.Item // ascending by key; tombstones are MISSING values
+	tree  *index.BTree // frozen memtable; nil for slice-backed runs
 }
 
 func (c *component) get(key adm.Value) (adm.Value, bool) {
+	if c.tree != nil {
+		return c.tree.Get(key)
+	}
 	lo, hi := 0, len(c.items)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -79,6 +85,33 @@ func (c *component) get(key adm.Value) (adm.Value, bool) {
 		return c.items[lo].Val, true
 	}
 	return adm.Value{}, false
+}
+
+// runCursor streams one component in key order: a slice walk or an
+// index.BTree cursor, depending on how the run is backed.
+type runCursor struct {
+	items []index.Item
+	pos   int
+	tc    *index.Cursor
+}
+
+func (c *component) cursor() runCursor {
+	if c.tree != nil {
+		return runCursor{tc: c.tree.Cursor()}
+	}
+	return runCursor{items: c.items}
+}
+
+func (rc *runCursor) next() (index.Item, bool) {
+	if rc.tc != nil {
+		return rc.tc.Next()
+	}
+	if rc.pos >= len(rc.items) {
+		return index.Item{}, false
+	}
+	it := rc.items[rc.pos]
+	rc.pos++
+	return it, true
 }
 
 // Stats is a point-in-time copy of partition activity counters;
@@ -381,13 +414,16 @@ func (p *Partition) applyLocked(key, rec adm.Value) {
 	}
 }
 
-// freezeLocked turns the memtable into an immutable component.
+// freezeLocked turns the memtable into an immutable component. The
+// tree itself is detached as the component (no item copy): writers get
+// a fresh memtable and the frozen tree is never mutated again, so
+// snapshots and scans can walk it concurrently via index.BTree cursors.
 func (p *Partition) freezeLocked() {
 	if p.mem.Len() == 0 {
 		return
 	}
 	p.stats.Flushes++
-	p.components = append([]*component{{items: p.mem.Items()}}, p.components...)
+	p.components = append([]*component{{tree: p.mem}}, p.components...)
 	p.mem = index.NewBTree()
 	p.memBytes = 0
 	if len(p.components) > p.opts.MaxComponents {
@@ -469,9 +505,10 @@ func (p *Partition) Stats() Stats {
 }
 
 // forEachLiveLocked visits every live record (no snapshot; caller holds
-// the lock).
+// the lock). The memtable is wrapped as a transient tree-backed run —
+// read-only under the write lock, so no freeze is needed.
 func (p *Partition) forEachLiveLocked(fn func(key, rec adm.Value)) {
-	comps := append([]*component{{items: p.mem.Items()}}, p.components...)
+	comps := append([]*component{{tree: p.mem}}, p.components...)
 	for _, it := range mergeComponents(comps, true) {
 		fn(it.Key, it.Val)
 	}
@@ -499,6 +536,29 @@ func (s *Snapshot) Get(key adm.Value) (adm.Value, bool) {
 // false.
 func (s *Snapshot) Scan(fn func(key, rec adm.Value) bool) {
 	scanMerged(s.components, fn)
+}
+
+// Cursor returns a pull iterator over the snapshot's live records in
+// primary-key order. Unlike Scan it hands control to the caller between
+// records, so a consumer (e.g. a LIMIT-k query) can stop after k pulls
+// having touched only the prefix it asked for. The cursor allocates
+// O(components), never O(records).
+func (s *Snapshot) Cursor() *Cursor {
+	return &Cursor{m: newMergeCursor(s.components, true)}
+}
+
+// Cursor streams a snapshot's live records.
+type Cursor struct {
+	m mergeCursor
+}
+
+// Next returns the next live record in key order.
+func (cu *Cursor) Next() (key, rec adm.Value, ok bool) {
+	it, ok := cu.m.next()
+	if !ok {
+		return adm.Value{}, adm.Value{}, false
+	}
+	return it.Key, it.Val, true
 }
 
 // Len counts live records in the snapshot.
@@ -530,39 +590,71 @@ func scanMerged(comps []*component, fn func(key, rec adm.Value) bool) {
 }
 
 func scanMergedItems(comps []*component, dropTombstones bool, fn func(index.Item) bool) {
-	pos := make([]int, len(comps))
+	m := newMergeCursor(comps, dropTombstones)
 	for {
+		it, ok := m.next()
+		if !ok {
+			return
+		}
+		if !fn(it) {
+			return
+		}
+	}
+}
+
+// mergeCursor is an incremental k-way merge over component runs: the
+// newest (lowest-index) version of each key wins, older versions are
+// skipped, tombstones are optionally dropped. It is the single merged-
+// read implementation under Snapshot.Scan, Snapshot.Cursor, and the
+// tiered merge.
+type mergeCursor struct {
+	runs           []runCursor
+	heads          []index.Item
+	live           []bool
+	dropTombstones bool
+}
+
+func newMergeCursor(comps []*component, dropTombstones bool) mergeCursor {
+	m := mergeCursor{
+		runs:           make([]runCursor, len(comps)),
+		heads:          make([]index.Item, len(comps)),
+		live:           make([]bool, len(comps)),
+		dropTombstones: dropTombstones,
+	}
+	for i, c := range comps {
+		m.runs[i] = c.cursor()
+		m.heads[i], m.live[i] = m.runs[i].next()
+	}
+	return m
+}
+
+func (m *mergeCursor) next() (index.Item, bool) {
+	for {
+		// Lowest key wins; among equal keys the first (newest) run wins
+		// because the scan takes the earliest index.
 		best := -1
-		for i, c := range comps {
-			if pos[i] >= len(c.items) {
+		for i := range m.runs {
+			if !m.live[i] {
 				continue
 			}
-			if best == -1 || adm.Less(c.items[pos[i]].Key, comps[best].items[pos[best]].Key) {
+			if best == -1 || adm.Less(m.heads[i].Key, m.heads[best].Key) {
 				best = i
 			}
 		}
 		if best == -1 {
-			return
+			return index.Item{}, false
 		}
-		it := comps[best].items[pos[best]]
-		// Advance every component holding this key; the newest (lowest
-		// index, i.e. first match) version wins.
-		var winner index.Item
-		winnerSet := false
-		for i, c := range comps {
-			if pos[i] < len(c.items) && adm.Compare(c.items[pos[i]].Key, it.Key) == 0 {
-				if !winnerSet {
-					winner = c.items[pos[i]]
-					winnerSet = true
-				}
-				pos[i]++
+		winner := m.heads[best]
+		// Advance every run holding this key (shadowed versions are
+		// consumed and dropped).
+		for i := range m.runs {
+			if m.live[i] && adm.Compare(m.heads[i].Key, winner.Key) == 0 {
+				m.heads[i], m.live[i] = m.runs[i].next()
 			}
 		}
-		if winner.Val.IsMissing() && dropTombstones {
+		if winner.Val.IsMissing() && m.dropTombstones {
 			continue
 		}
-		if !fn(winner) {
-			return
-		}
+		return winner, true
 	}
 }

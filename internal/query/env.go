@@ -68,6 +68,12 @@ type Catalog interface {
 type Context struct {
 	Catalog Catalog
 
+	// Params are the statement parameters bound for this evaluation:
+	// $name references resolve here (positional $1, $2, ... bind under
+	// "1", "2", ...). Nil means the statement was bound without
+	// arguments; referencing a parameter then fails at evaluation.
+	Params map[string]adm.Value
+
 	mu        sync.Mutex
 	snapshots map[string][]*lsm.Snapshot
 }

@@ -24,6 +24,11 @@ func eval(st evalState, env *Env, e sqlpp.Expr) (adm.Value, error) {
 			return v, nil
 		}
 		return adm.Value{}, fmt.Errorf("query: unbound variable %q", n.Name)
+	case *sqlpp.Param:
+		if v, ok := st.ctx.Params[n.Name]; ok {
+			return v, nil
+		}
+		return adm.Value{}, fmt.Errorf("query: unbound parameter $%s (offset %d): no argument was supplied", n.Name, n.Off)
 	case *sqlpp.FieldAccess:
 		base, err := eval(st, env, n.Base)
 		if err != nil {

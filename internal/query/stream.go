@@ -1,0 +1,346 @@
+package query
+
+import (
+	"fmt"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/lsm"
+	"github.com/ideadb/idea/internal/sqlpp"
+)
+
+// RowCursor is the pull-based (Volcano) face of a SELECT: each Next
+// call produces one result row, drawing records from the underlying
+// dataset scan cursors on demand. For pipeline-able query blocks —
+// scan → filter → UDF-apply → project → limit, i.e. no GROUP BY,
+// aggregates, ORDER BY, or DISTINCT — nothing is materialized: a
+// consumer that stops after k rows touches O(k) records and allocates
+// O(k), independent of dataset size. Blocking constructs fall back to
+// the eager executor and the cursor streams its buffered result.
+type RowCursor struct {
+	st  evalState
+	sel *sqlpp.SelectExpr
+
+	// Streaming pipeline (nil when running from the eager buffer).
+	tuples tupleCursor
+
+	// Eager fallback buffer.
+	buf []adm.Value
+	pos int
+
+	limit int64 // rows still to emit; -1 = unlimited
+	done  bool
+}
+
+// ExecuteSelectCursor prepares a pull cursor for a query block. Leading
+// LETs and the LIMIT expression are evaluated eagerly (they are bound
+// once per query); everything downstream is pulled lazily.
+func ExecuteSelectCursor(ctx *Context, env *Env, sel *sqlpp.SelectExpr) (*RowCursor, error) {
+	st := evalState{ctx: ctx}
+	rc := &RowCursor{st: st, sel: sel, limit: -1}
+
+	if !streamable(sel) {
+		v, err := executeSelect(st, env, sel)
+		if err != nil {
+			return nil, err
+		}
+		rc.buf = v.ArrayVal()
+		return rc, nil
+	}
+
+	st, err := st.deeper()
+	if err != nil {
+		return nil, err
+	}
+	rc.st = st
+	for _, l := range sel.Lets {
+		v, err := eval(st, env, l.Expr)
+		if err != nil {
+			return nil, err
+		}
+		env = Bind(env, l.Name, v)
+	}
+	if sel.Limit != nil {
+		lv, err := eval(st, nil, sel.Limit)
+		if err != nil {
+			return nil, err
+		}
+		n, ok := lv.AsInt()
+		if !ok || n < 0 {
+			return nil, fmt.Errorf("query: LIMIT must be a non-negative integer")
+		}
+		rc.limit = n
+	}
+
+	// Pin the snapshots of every dataset named in FROM position now,
+	// before returning the cursor: the caller's consistency contract is
+	// "the data as of the Query call", not "as of the first Next".
+	// (Datasets touched only inside subqueries or UDFs pin on first
+	// access, per the Context rule.)
+	scope := env
+	for _, fc := range sel.From {
+		if id, isIdent := fc.Source.(*sqlpp.Ident); isIdent {
+			if _, bound := scope.Lookup(id.Name); !bound && ctx.Catalog != nil {
+				if _, isDS := ctx.Catalog.Dataset(id.Name); isDS {
+					if _, err := ctx.Pin(id.Name); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		// Later FROM clauses may reference this alias; approximate the
+		// scope by binding it to MISSING (only presence matters here).
+		scope = Bind(scope, fc.Alias, adm.Missing())
+	}
+
+	// Build the tuple pipeline: FROM fan-out (streaming nested loops),
+	// per-tuple LETs, then the WHERE filter.
+	var cur tupleCursor = &singleCursor{env: env}
+	for _, fc := range sel.From {
+		cur = &fromCursor{st: st, outer: cur, src: fc.Source, alias: fc.Alias}
+	}
+	if len(sel.FromLets) > 0 {
+		cur = &letCursor{st: st, inner: cur, lets: sel.FromLets}
+	}
+	if sel.Where != nil {
+		cur = &filterCursor{st: st, inner: cur, pred: sel.Where}
+	}
+	rc.tuples = cur
+	return rc, nil
+}
+
+// streamable reports whether the block pipelines row by row. Blocking
+// constructs (grouping, aggregation, ordering, dedup) need the whole
+// input before the first output row, so they take the eager path.
+func streamable(sel *sqlpp.SelectExpr) bool {
+	return len(sel.GroupBy) == 0 && len(sel.OrderBy) == 0 &&
+		!sel.Distinct && !selectHasAggregate(sel)
+}
+
+// Next returns the next result row. After ok=false (exhaustion or
+// error) the cursor stays exhausted.
+func (rc *RowCursor) Next() (adm.Value, bool, error) {
+	if rc.done || rc.limit == 0 {
+		rc.done = true
+		return adm.Value{}, false, nil
+	}
+	if rc.tuples == nil {
+		if rc.pos >= len(rc.buf) {
+			rc.done = true
+			return adm.Value{}, false, nil
+		}
+		v := rc.buf[rc.pos]
+		rc.pos++
+		return v, true, nil
+	}
+	tu, ok, err := rc.tuples.next()
+	if err != nil || !ok {
+		rc.done = true
+		return adm.Value{}, false, err
+	}
+	v, err := projectRow(rc.st.noGroup(), tu, rc.sel)
+	if err != nil {
+		rc.done = true
+		return adm.Value{}, false, err
+	}
+	if rc.limit > 0 {
+		rc.limit--
+	}
+	return v, true, nil
+}
+
+// Close releases the cursor. Scans hold no locks — snapshots are
+// dropped with the cursor — so Close only marks the cursor exhausted;
+// it exists so callers can abandon a stream at any point.
+func (rc *RowCursor) Close() {
+	rc.done = true
+	rc.tuples = nil
+	rc.buf = nil
+}
+
+// --- tuple operators ---
+
+// tupleCursor is the operator contract: each next call yields one
+// binding environment (a row of the FROM product).
+type tupleCursor interface {
+	next() (*Env, bool, error)
+}
+
+// singleCursor yields the base environment exactly once — the seed of
+// the FROM product (and the whole product for FROM-less selects).
+type singleCursor struct {
+	env  *Env
+	used bool
+}
+
+func (s *singleCursor) next() (*Env, bool, error) {
+	if s.used {
+		return nil, false, nil
+	}
+	s.used = true
+	return s.env, true, nil
+}
+
+// fromCursor streams one FROM clause: for every outer tuple it opens a
+// collection cursor over the source and yields one extended tuple per
+// record. Dataset sources stream straight from the LSM scan cursor.
+type fromCursor struct {
+	st    evalState
+	outer tupleCursor
+	src   sqlpp.Expr
+	alias string
+
+	cur    collCursor
+	curEnv *Env
+}
+
+func (f *fromCursor) next() (*Env, bool, error) {
+	for {
+		if f.cur == nil {
+			oe, ok, err := f.outer.next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			cc, err := openFromSource(f.st, oe, f.src)
+			if err != nil {
+				return nil, false, err
+			}
+			f.cur = cc
+			f.curEnv = oe
+		}
+		if rec, ok := f.cur.next(); ok {
+			return Bind(f.curEnv, f.alias, rec), true, nil
+		}
+		f.cur = nil
+	}
+}
+
+// letCursor binds FROM-position LETs on each tuple as it flows past.
+type letCursor struct {
+	st    evalState
+	inner tupleCursor
+	lets  []sqlpp.LetBinding
+}
+
+func (l *letCursor) next() (*Env, bool, error) {
+	tu, ok, err := l.inner.next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	for _, b := range l.lets {
+		v, err := eval(l.st, tu, b.Expr)
+		if err != nil {
+			return nil, false, err
+		}
+		tu = Bind(tu, b.Name, v)
+	}
+	return tu, true, nil
+}
+
+// filterCursor drops tuples whose predicate is not TRUE.
+type filterCursor struct {
+	st    evalState
+	inner tupleCursor
+	pred  sqlpp.Expr
+}
+
+func (f *filterCursor) next() (*Env, bool, error) {
+	for {
+		tu, ok, err := f.inner.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v, err := eval(f.st, tu, f.pred)
+		if err != nil {
+			return nil, false, err
+		}
+		if Truthy(v) {
+			return tu, true, nil
+		}
+	}
+}
+
+// --- collection cursors (FROM sources) ---
+
+// collCursor streams the records of one FROM source instance.
+type collCursor interface {
+	next() (adm.Value, bool)
+}
+
+type sliceCursor struct {
+	elems []adm.Value
+	pos   int
+}
+
+func (s *sliceCursor) next() (adm.Value, bool) {
+	if s.pos >= len(s.elems) {
+		return adm.Value{}, false
+	}
+	v := s.elems[s.pos]
+	s.pos++
+	return v, true
+}
+
+type singleValueCursor struct {
+	v    adm.Value
+	used bool
+}
+
+func (s *singleValueCursor) next() (adm.Value, bool) {
+	if s.used {
+		return adm.Value{}, false
+	}
+	s.used = true
+	return s.v, true
+}
+
+// datasetCursor adapts an LSM scan cursor (which walks the pinned
+// snapshots' memtable trees and sorted runs in place) to a collection
+// cursor.
+type datasetCursor struct {
+	sc *lsm.ScanCursor
+}
+
+func (d *datasetCursor) next() (adm.Value, bool) {
+	_, rec, ok := d.sc.Next()
+	return rec, ok
+}
+
+// openFromSource resolves one FROM source into a streaming cursor: an
+// in-scope binding, a dataset scan over the pinned snapshots, or any
+// collection-valued expression. It mirrors fromCollection but never
+// copies a dataset into a slice.
+func openFromSource(st evalState, env *Env, src sqlpp.Expr) (collCursor, error) {
+	if id, ok := src.(*sqlpp.Ident); ok {
+		if v, bound := env.Lookup(id.Name); bound {
+			return collectionCursor(v)
+		}
+		if st.ctx.Catalog != nil {
+			if _, isDS := st.ctx.Catalog.Dataset(id.Name); isDS {
+				snaps, err := st.ctx.Pin(id.Name)
+				if err != nil {
+					return nil, err
+				}
+				return &datasetCursor{sc: lsm.NewScanCursor(snaps)}, nil
+			}
+		}
+		return nil, fmt.Errorf("query: FROM source %q is neither a binding nor a dataset", id.Name)
+	}
+	v, err := eval(st, env, src)
+	if err != nil {
+		return nil, err
+	}
+	return collectionCursor(v)
+}
+
+func collectionCursor(v adm.Value) (collCursor, error) {
+	switch v.Kind() {
+	case adm.KindArray:
+		return &sliceCursor{elems: v.ArrayVal()}, nil
+	case adm.KindMissing, adm.KindNull:
+		return &sliceCursor{}, nil
+	default:
+		// A single object iterates as a one-element collection, matching
+		// SQL++'s forgiving FROM semantics for non-arrays.
+		return &singleValueCursor{v: v}, nil
+	}
+}

@@ -18,6 +18,16 @@ type Ident struct {
 	Name string
 }
 
+// Param is a statement parameter reference: $name for named parameters
+// or $1, $2, ... for positional ones. Name holds the text after the
+// `$`; Off is the byte offset of the reference (for error reporting).
+// Values are bound at execution time, never at parse time, so a
+// parsed statement is reusable across bindings.
+type Param struct {
+	Name string
+	Off  int
+}
+
 // FieldAccess is base.field.
 type FieldAccess struct {
 	Base  Expr
@@ -101,6 +111,7 @@ type ObjectCtor struct {
 
 func (*Literal) exprNode()      {}
 func (*Ident) exprNode()        {}
+func (*Param) exprNode()        {}
 func (*FieldAccess) exprNode()  {}
 func (*IndexAccess) exprNode()  {}
 func (*Call) exprNode()         {}
@@ -163,11 +174,27 @@ type SelectExpr struct {
 
 func (*SelectExpr) exprNode() {}
 
-// Statement is any top-level parsed statement.
-type Statement interface{ stmtNode() }
+// Statement is any top-level parsed statement. Pos reports the byte
+// offset of the statement's first token in the parsed source, so
+// executors can point errors at the failing statement.
+type Statement interface {
+	stmtNode()
+	Pos() int
+}
+
+// stmtBase carries the source position shared by every statement node.
+type stmtBase struct {
+	At int // byte offset of the statement's first token
+}
+
+// Pos returns the statement's byte offset in the parsed source.
+func (s stmtBase) Pos() int { return s.At }
+
+func (s *stmtBase) setPos(at int) { s.At = at }
 
 // CreateType is CREATE TYPE name AS OPEN|CLOSED { field: type, ... }.
 type CreateType struct {
+	stmtBase
 	Name   string
 	Open   bool
 	Fields []adm.FieldDef
@@ -175,6 +202,7 @@ type CreateType struct {
 
 // CreateDataset is CREATE DATASET name(Type) PRIMARY KEY field.
 type CreateDataset struct {
+	stmtBase
 	Name       string
 	TypeName   string
 	PrimaryKey string
@@ -182,6 +210,7 @@ type CreateDataset struct {
 
 // CreateIndex is CREATE INDEX name ON dataset(field) TYPE BTREE|RTREE.
 type CreateIndex struct {
+	stmtBase
 	Name    string
 	Dataset string
 	Field   string
@@ -190,6 +219,7 @@ type CreateIndex struct {
 
 // CreateFunction is CREATE FUNCTION name(params) { body }.
 type CreateFunction struct {
+	stmtBase
 	Name   string
 	Params []string
 	Body   Expr
@@ -197,25 +227,34 @@ type CreateFunction struct {
 
 // CreateFeed is CREATE FEED name WITH { json config }.
 type CreateFeed struct {
+	stmtBase
 	Name   string
 	Config adm.Value
 }
 
 // ConnectFeed is CONNECT FEED f TO DATASET d [APPLY FUNCTION fn].
 type ConnectFeed struct {
+	stmtBase
 	Feed     string
 	Dataset  string
 	Function string
 }
 
 // StartFeed is START FEED name.
-type StartFeed struct{ Name string }
+type StartFeed struct {
+	stmtBase
+	Name string
+}
 
 // StopFeed is STOP FEED name.
-type StopFeed struct{ Name string }
+type StopFeed struct {
+	stmtBase
+	Name string
+}
 
 // Insert is INSERT/UPSERT INTO dataset ( source ).
 type Insert struct {
+	stmtBase
 	Dataset string
 	Source  Expr
 	Upsert  bool
@@ -223,6 +262,7 @@ type Insert struct {
 
 // Query is a bare SELECT statement.
 type Query struct {
+	stmtBase
 	Sel *SelectExpr
 }
 

@@ -1,0 +1,118 @@
+package sqlpp
+
+// CollectParams returns the distinct parameter names referenced by the
+// statements, in first-appearance order. Executors use it to validate a
+// binding set before running anything: every referenced $name must be
+// bound, and every bound argument must be referenced. Parameters inside
+// string literals are just text — the lexer has already folded them
+// into TokString — so they are never reported.
+func CollectParams(stmts []Statement) []string {
+	c := &paramCollector{seen: make(map[string]bool)}
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case *Insert:
+			c.expr(n.Source)
+		case *Query:
+			c.sel(n.Sel)
+		}
+		// CreateFunction bodies are deliberately NOT walked: a stored
+		// function outlives the Execute call, so a binding supplied now
+		// could not be honored later. Executors reject $params there
+		// (via CollectExprParams) instead of silently dropping them.
+	}
+	return c.names
+}
+
+// CollectExprParams is CollectParams for a bare expression. Executors
+// use it to reject parameters in positions with no binding lifetime
+// (stored CREATE FUNCTION bodies).
+func CollectExprParams(e Expr) []string {
+	c := &paramCollector{seen: make(map[string]bool)}
+	c.expr(e)
+	return c.names
+}
+
+type paramCollector struct {
+	names []string
+	seen  map[string]bool
+}
+
+func (c *paramCollector) add(name string) {
+	if !c.seen[name] {
+		c.seen[name] = true
+		c.names = append(c.names, name)
+	}
+}
+
+func (c *paramCollector) expr(e Expr) {
+	switch n := e.(type) {
+	case nil:
+	case *Param:
+		c.add(n.Name)
+	case *FieldAccess:
+		c.expr(n.Base)
+	case *IndexAccess:
+		c.expr(n.Base)
+		c.expr(n.Index)
+	case *Call:
+		for _, a := range n.Args {
+			c.expr(a)
+		}
+	case *Unary:
+		c.expr(n.X)
+	case *Binary:
+		c.expr(n.L)
+		c.expr(n.R)
+	case *CaseExpr:
+		c.expr(n.Operand)
+		for _, w := range n.Whens {
+			c.expr(w.When)
+			c.expr(w.Then)
+		}
+		c.expr(n.Else)
+	case *Exists:
+		c.sel(n.Sub)
+	case *In:
+		c.expr(n.X)
+		c.expr(n.Coll)
+	case *SubqueryExpr:
+		c.sel(n.Sel)
+	case *ArrayCtor:
+		for _, el := range n.Elems {
+			c.expr(el)
+		}
+	case *ObjectCtor:
+		for _, f := range n.Fields {
+			c.expr(f.Val)
+		}
+	case *SelectExpr:
+		c.sel(n)
+	}
+}
+
+func (c *paramCollector) sel(sel *SelectExpr) {
+	if sel == nil {
+		return
+	}
+	for _, l := range sel.Lets {
+		c.expr(l.Expr)
+	}
+	c.expr(sel.SelectValue)
+	for _, p := range sel.Projections {
+		c.expr(p.Expr)
+	}
+	for _, fc := range sel.From {
+		c.expr(fc.Source)
+	}
+	for _, l := range sel.FromLets {
+		c.expr(l.Expr)
+	}
+	c.expr(sel.Where)
+	for _, gk := range sel.GroupBy {
+		c.expr(gk.Expr)
+	}
+	for _, ob := range sel.OrderBy {
+		c.expr(ob.Expr)
+	}
+	c.expr(sel.Limit)
+}

@@ -21,9 +21,13 @@ func Parse(src string) ([]Statement, error) {
 			p.next()
 			continue
 		}
+		at := p.cur().Pos
 		s, err := p.parseStatement()
 		if err != nil {
 			return nil, err
+		}
+		if ps, ok := s.(interface{ setPos(int) }); ok {
+			ps.setPos(at)
 		}
 		stmts = append(stmts, s)
 		if !p.at(TokOp, ";") && !p.at(TokEOF, "") {
@@ -873,7 +877,16 @@ func (p *parser) parsePrimary() (Expr, error) {
 }
 
 func (p *parser) parseIdentOrCall() (Expr, error) {
-	name := p.next().Text
+	tok := p.next()
+	name := tok.Text
+	if strings.HasPrefix(name, "$") {
+		// A statement parameter: $name or $1. Lone `$` is malformed.
+		if len(name) == 1 {
+			p.pos--
+			return nil, p.errorf("empty parameter name")
+		}
+		return &Param{Name: name[1:], Off: tok.Pos}, nil
+	}
 	ns := ""
 	if p.at(TokOp, "#") {
 		p.next()

@@ -1,6 +1,7 @@
 package sqlpp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -514,5 +515,114 @@ func TestParseDistinctAndDescOrder(t *testing.T) {
 	}
 	if sel.Limit == nil {
 		t.Error("limit lost")
+	}
+}
+
+func TestParamParsing(t *testing.T) {
+	stmts, err := Parse(`SELECT VALUE t FROM Tweets t WHERE t.country = $country AND t.n > $1 LIMIT $limit;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CollectParams(stmts)
+	want := []string{"country", "1", "limit"}
+	if len(got) != len(want) {
+		t.Fatalf("params = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("params = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParamInsideStringLiteralIsText(t *testing.T) {
+	stmts, err := Parse(`SELECT VALUE "$notaparam" FROM Tweets t WHERE t.text = '$alsotext';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps := CollectParams(stmts); len(ps) != 0 {
+		t.Fatalf("string-literal dollars must not become parameters, got %v", ps)
+	}
+}
+
+func TestParamDedupAndOffsets(t *testing.T) {
+	stmts, err := Parse(`SELECT VALUE $x FROM D d WHERE d.a = $x AND d.b = $y;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CollectParams(stmts)
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("params = %v", got)
+	}
+	q := stmts[0].(*Query)
+	p, ok := q.Sel.SelectValue.(*Param)
+	if !ok {
+		t.Fatalf("SELECT VALUE is %T, want *Param", q.Sel.SelectValue)
+	}
+	if p.Off != len("SELECT VALUE ") {
+		t.Errorf("param offset = %d", p.Off)
+	}
+}
+
+func TestEmptyParamNameFails(t *testing.T) {
+	_, err := Parse(`SELECT VALUE $ FROM D d;`)
+	if err == nil {
+		t.Fatal("lone $ should fail to parse")
+	}
+}
+
+func TestParseErrorReportsOffset(t *testing.T) {
+	cases := []struct {
+		src  string
+		near string // fragment expected in the message
+	}{
+		{"SELECT VALUE t FROM WHERE", "WHERE"},
+		{"CREATE DATASET D(T PRIMARY KEY id;", "PRIMARY"},
+		{"SELECT * FROM D d GROUP WHEN", "WHEN"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Fatalf("%q should fail", tc.src)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "offset") || !strings.Contains(msg, tc.near) {
+			t.Errorf("%q error lacks offset/near info: %v", tc.src, err)
+		}
+		// The reported offset must point inside the source.
+		var off int
+		if _, serr := fmt.Sscanf(msg[strings.Index(msg, "offset"):], "offset %d", &off); serr != nil {
+			t.Errorf("%q: cannot extract offset from %q", tc.src, msg)
+		} else if off < 0 || off > len(tc.src) {
+			t.Errorf("%q: offset %d out of range", tc.src, off)
+		}
+	}
+}
+
+func TestStatementPositions(t *testing.T) {
+	src := `CREATE TYPE T AS OPEN { id: int64 };
+CREATE DATASET D(T) PRIMARY KEY id;
+INSERT INTO D ([{"id": 1}]);`
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+	for i, s := range stmts {
+		at := s.Pos()
+		if at < 0 || at >= len(src) {
+			t.Fatalf("stmt %d pos %d out of range", i, at)
+		}
+	}
+	if stmts[0].Pos() != 0 {
+		t.Errorf("first stmt pos = %d", stmts[0].Pos())
+	}
+	if want := strings.Index(src, "CREATE DATASET"); stmts[1].Pos() != want {
+		t.Errorf("second stmt pos = %d, want %d", stmts[1].Pos(), want)
+	}
+	if want := strings.Index(src, "INSERT"); stmts[2].Pos() != want {
+		t.Errorf("third stmt pos = %d, want %d", stmts[2].Pos(), want)
 	}
 }

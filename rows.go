@@ -1,0 +1,130 @@
+package idea
+
+import (
+	"context"
+	"iter"
+
+	"github.com/ideadb/idea/internal/query"
+)
+
+// Rows is a pull cursor over a SELECT's result: the streaming face of
+// Cluster.Query. Rows follows the database/sql idiom —
+//
+//	rows, err := c.Query(ctx, `SELECT VALUE t.id FROM Tweets t WHERE t.score > $min LIMIT 10`, 5)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		use(rows.Value())
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// — or, with Go 1.23 range-over-func, All:
+//
+//	for v, err := range rows.All() { ... }
+//
+// Execution is lazy: each Next pulls one row through the engine's
+// operator pipeline, which draws records straight from the storage
+// layer's scan cursors. A query abandoned after k rows has touched only
+// k rows' worth of data; `SELECT ... LIMIT k` over an n-record dataset
+// costs O(k) memory, not O(n). Blocking clauses (GROUP BY, aggregates,
+// ORDER BY, DISTINCT) inherently buffer before the first row; Rows
+// then streams the buffered result.
+//
+// Lifetime: the snapshots of every dataset named in FROM position are
+// pinned before Query returns, so a long-lived Rows observes the data
+// as of the call even while feeds keep ingesting (the paper's
+// record-level consistency; a dataset touched only inside a subquery
+// or UDF pins at its first access during iteration).
+// Yielded Values are safe to retain after Close — result rows are
+// either freshly projected objects or records whose backing memory
+// storage retains; they never alias recycled frame arenas (see
+// docs/ARCHITECTURE.md, "Rows lifetime").
+//
+// Rows is not safe for concurrent use.
+type Rows struct {
+	ctx  context.Context
+	cur  *query.RowCursor
+	val  Value
+	err  error
+	done bool
+}
+
+// Next advances to the next row, reporting whether one is available.
+// It returns false at exhaustion, on error (see Err), or after the
+// query's context is canceled.
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			r.err = err
+			r.close()
+			return false
+		}
+	}
+	v, ok, err := r.cur.Next()
+	if err != nil {
+		r.err = err
+		r.close()
+		return false
+	}
+	if !ok {
+		r.close()
+		return false
+	}
+	r.val = Value{v}
+	return true
+}
+
+// Value returns the row the last successful Next produced.
+func (r *Rows) Value() Value { return r.val }
+
+// Err returns the error that terminated iteration, if any. It is nil
+// after a clean exhaustion; Close never clears it, so the idiomatic
+// post-loop check works with a deferred Close.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor. It is idempotent and safe after
+// exhaustion; iterating past Close yields no rows. Close never
+// overwrites an earlier iteration error.
+func (r *Rows) Close() error {
+	r.close()
+	return nil
+}
+
+func (r *Rows) close() {
+	if !r.done {
+		r.done = true
+		r.cur.Close()
+	}
+}
+
+// All adapts the cursor to a Go 1.23 iterator. The sequence yields
+// (value, nil) per row and, if iteration fails, one final (zero, err)
+// pair. The cursor is closed when the loop ends, including on break.
+func (r *Rows) All() iter.Seq2[Value, error] {
+	return func(yield func(Value, error) bool) {
+		defer r.Close()
+		for r.Next() {
+			if !yield(r.val, nil) {
+				return
+			}
+		}
+		if r.err != nil {
+			yield(Value{}, r.err)
+		}
+	}
+}
+
+// Collect drains the cursor into a slice and closes it — the
+// materializing convenience for small results (and the migration path
+// from the old Query signature).
+func (r *Rows) Collect() ([]Value, error) {
+	defer r.Close()
+	var out []Value
+	for r.Next() {
+		out = append(out, r.val)
+	}
+	return out, r.err
+}

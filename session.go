@@ -1,97 +1,208 @@
 package idea
 
 import (
+	"context"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"github.com/ideadb/idea/internal/adm"
 	"github.com/ideadb/idea/internal/query"
 	"github.com/ideadb/idea/internal/sqlpp"
 )
 
+// NamedArg binds a value to a named statement parameter: pass
+// idea.Named("country", "US") for a query referencing $country.
+// Non-NamedArg arguments bind positionally to $1, $2, ...
+type NamedArg struct {
+	// Name is the parameter name, without the leading "$" (a leading
+	// "$" is tolerated and stripped).
+	Name string
+	// Value converts like the Obj/Arr builders: Value, string, int,
+	// int64, float64, bool, time.Time, nil, or []byte (JSON).
+	Value any
+}
+
+// Named builds a NamedArg.
+func Named(name string, value any) NamedArg { return NamedArg{Name: name, Value: value} }
+
+// Result describes one executed statement of a script.
+type Result struct {
+	// Kind labels the statement ("CREATE TYPE", "INSERT", "START FEED",
+	// ...).
+	Kind string
+	// Pos is the statement's byte offset in the script.
+	Pos int
+	// RowsAffected counts records written by DML (INSERT/UPSERT); 0 for
+	// DDL and feed control.
+	RowsAffected int
+	// Feed is the handle started by a START FEED statement, nil
+	// otherwise.
+	Feed *Feed
+}
+
+// Results is the per-statement outcome of one Execute call.
+type Results []Result
+
+// Feeds returns the feed handles started by the script, in statement
+// order — one per START FEED.
+func (rs Results) Feeds() []*Feed {
+	var out []*Feed
+	for _, r := range rs {
+		if r.Feed != nil {
+			out = append(out, r.Feed)
+		}
+	}
+	return out
+}
+
+// RowsAffected totals records written across the script's DML
+// statements.
+func (rs Results) RowsAffected() int {
+	n := 0
+	for _, r := range rs {
+		n += r.RowsAffected
+	}
+	return n
+}
+
 // Execute runs a sequence of semicolon-separated SQL++ statements: DDL
 // (CREATE TYPE / DATASET / INDEX / FUNCTION / FEED, CONNECT FEED,
-// START/STOP FEED) and DML (INSERT / UPSERT). Use Query for SELECTs.
-// START FEED returns asynchronously; the returned Feed handles (one per
-// START FEED in the script) let callers wait or stop.
-func (c *Cluster) Execute(script string) ([]*Feed, error) {
+// START/STOP FEED) and DML (INSERT / UPSERT, with $param binding). Use
+// Query for SELECTs.
+//
+// Execution is statement by statement; ctx is checked between
+// statements (a statement already evaluating runs to completion). A
+// started feed is NOT bound to ctx — feeds outlive the call and are
+// stopped via their handle or STOP FEED.
+//
+// On a mid-script failure Execute returns the Results of every
+// statement that already ran — including the Feed handles of feeds the
+// script already started, so callers can stop them — alongside a
+// *StatementError locating the failure (index, byte offset, snippet,
+// and the unwrapped cause).
+func (c *Cluster) Execute(ctx context.Context, script string, args ...any) (Results, error) {
 	stmts, err := sqlpp.Parse(script)
 	if err != nil {
 		return nil, err
 	}
-	var feeds []*Feed
-	for _, stmt := range stmts {
-		f, err := c.executeStmt(stmt)
-		if err != nil {
-			return feeds, err
-		}
-		if f != nil {
-			feeds = append(feeds, f)
-		}
+	params, err := bindArgs(sqlpp.CollectParams(stmts), args)
+	if err != nil {
+		return nil, err
 	}
-	return feeds, nil
+	var results Results
+	for i, stmt := range stmts {
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
+		res, err := c.executeStmt(ctx, stmt, params)
+		if err != nil {
+			return results, &StatementError{
+				Index:   i,
+				Pos:     stmt.Pos(),
+				Snippet: snippetAt(script, stmt.Pos()),
+				Err:     err,
+			}
+		}
+		res.Pos = stmt.Pos()
+		results = append(results, res)
+	}
+	return results, nil
 }
 
-// MustExecute is Execute that panics on error (setup scripts in examples
-// and tests).
-func (c *Cluster) MustExecute(script string) []*Feed {
-	feeds, err := c.Execute(script)
+// MustExecute is Execute that panics on error (setup scripts in
+// examples and tests), with context.Background.
+func (c *Cluster) MustExecute(script string, args ...any) Results {
+	results, err := c.Execute(context.Background(), script, args...)
 	if err != nil {
 		panic(err)
 	}
-	return feeds
+	return results
 }
 
-func (c *Cluster) executeStmt(stmt sqlpp.Statement) (*Feed, error) {
+// ExecuteScript is the pre-cursor-API Execute: no context, no
+// parameters, feed handles only.
+//
+// Deprecated: use Execute, which reports per-statement Results and
+// locates failures; ExecuteScript will be removed next release.
+func (c *Cluster) ExecuteScript(script string) ([]*Feed, error) {
+	results, err := c.Execute(context.Background(), script)
+	return results.Feeds(), err
+}
+
+// queryContext builds a fresh evaluation context carrying the bound
+// parameters. Each statement gets its own context so snapshot pinning
+// never lets one statement observe pre-script data after an earlier
+// statement wrote (the old per-statement NewContext behaviour).
+func (c *Cluster) queryContext(params map[string]adm.Value) *query.Context {
+	qctx := query.NewContext(c.inner)
+	qctx.Params = params
+	return qctx
+}
+
+func (c *Cluster) executeStmt(ctx context.Context, stmt sqlpp.Statement, params map[string]adm.Value) (Result, error) {
 	switch s := stmt.(type) {
 	case *sqlpp.CreateType:
 		dt, err := adm.NewDatatype(s.Name, s.Open, s.Fields)
 		if err != nil {
-			return nil, err
+			return Result{}, err
 		}
-		return nil, c.inner.CreateDatatype(dt)
+		return Result{Kind: "CREATE TYPE"}, c.inner.CreateDatatype(dt)
 	case *sqlpp.CreateDataset:
 		_, err := c.inner.CreateDataset(s.Name, s.TypeName, s.PrimaryKey)
-		return nil, err
+		return Result{Kind: "CREATE DATASET"}, err
 	case *sqlpp.CreateIndex:
-		return nil, c.inner.CreateIndex(s.Name, s.Dataset, s.Field, s.Kind)
+		return Result{Kind: "CREATE INDEX"}, c.inner.CreateIndex(s.Name, s.Dataset, s.Field, s.Kind)
 	case *sqlpp.CreateFunction:
-		return nil, c.inner.CreateFunction(&query.Function{
+		// A stored body outlives this call, so a $param bound now could
+		// not be resolved at call time — reject rather than let the
+		// reference float and capture whatever a future query binds.
+		if ps := sqlpp.CollectExprParams(s.Body); len(ps) > 0 {
+			return Result{}, fmt.Errorf("idea: CREATE FUNCTION %s: statement parameter $%s is not allowed in a stored function body (use a function parameter)", s.Name, ps[0])
+		}
+		return Result{Kind: "CREATE FUNCTION"}, c.inner.CreateFunction(&query.Function{
 			Name: s.Name, Params: s.Params, Body: s.Body,
 		})
 	case *sqlpp.CreateFeed:
-		return nil, c.mgr.CreateFeed(s.Name, s.Config)
+		return Result{Kind: "CREATE FEED"}, c.mgr.CreateFeed(s.Name, s.Config)
 	case *sqlpp.ConnectFeed:
-		return nil, c.mgr.ConnectFeed(s.Feed, s.Dataset, s.Function)
+		return Result{Kind: "CONNECT FEED"}, c.mgr.ConnectFeed(s.Feed, s.Dataset, s.Function)
 	case *sqlpp.StartFeed:
+		// Feeds run on the cluster's lifetime context, not the Execute
+		// ctx: the pipeline outlives this call.
 		if _, err := c.mgr.StartFeed(c.ctx, s.Name); err != nil {
-			return nil, err
+			return Result{}, err
 		}
-		return &Feed{name: s.Name, c: c}, nil
+		return Result{Kind: "START FEED", Feed: &Feed{name: s.Name, c: c}}, nil
 	case *sqlpp.StopFeed:
-		return nil, c.mgr.StopFeed(s.Name)
+		return Result{Kind: "STOP FEED"}, c.mgr.StopFeed(s.Name)
 	case *sqlpp.Insert:
-		return nil, c.executeInsert(s)
+		kind := "INSERT"
+		if s.Upsert {
+			kind = "UPSERT"
+		}
+		n, err := c.executeInsert(s, params)
+		return Result{Kind: kind, RowsAffected: n}, err
 	case *sqlpp.Query:
-		return nil, fmt.Errorf("idea: use Query for SELECT statements")
+		return Result{}, fmt.Errorf("idea: use Query for SELECT statements")
 	}
-	return nil, fmt.Errorf("idea: unsupported statement %T", stmt)
+	return Result{}, fmt.Errorf("idea: unsupported statement %T", stmt)
 }
 
 // executeInsert evaluates the source expression (a literal array or a
-// query) and inserts/upserts each record.
-func (c *Cluster) executeInsert(ins *sqlpp.Insert) error {
+// query) and inserts/upserts each record, returning the record count.
+func (c *Cluster) executeInsert(ins *sqlpp.Insert, params map[string]adm.Value) (int, error) {
 	ds, ok := c.inner.Dataset(ins.Dataset)
 	if !ok {
-		return fmt.Errorf("idea: unknown dataset %q", ins.Dataset)
+		return 0, fmt.Errorf("%w %q", ErrUnknownDataset, ins.Dataset)
 	}
 	var src adm.Value
 	if v, err := sqlpp.ConstEval(ins.Source); err == nil {
 		src = v
 	} else {
-		ctx := query.NewContext(c.inner)
-		v, err := query.Eval(ctx, nil, ins.Source)
+		v, err := query.Eval(c.queryContext(params), nil, ins.Source)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		src = v
 	}
@@ -103,22 +214,32 @@ func (c *Cluster) executeInsert(ins *sqlpp.Insert) error {
 		// The whole statement lands as one batch per touched partition
 		// (one WAL append+commit, one lock, one bulk memtable insert),
 		// and validation runs before anything is written.
-		return ds.UpsertBatch(records)
+		if err := ds.UpsertBatch(records); err != nil {
+			return 0, err
+		}
+		return len(records), nil
 	}
-	for _, rec := range records {
+	for i, rec := range records {
 		// INSERT keeps the per-record path: duplicate-key rejection is
 		// checked against records earlier in the same statement too.
 		if err := ds.Insert(rec); err != nil {
-			return err
+			return i, err
 		}
 	}
-	return nil
+	return len(records), nil
 }
 
-// Query runs a SQL++ SELECT and returns its result collection. UDFs in
-// the query evaluate against current data — the paper's Option 1,
+// Query runs a SQL++ SELECT and returns a streaming cursor over its
+// result. Statement parameters — $name bound by idea.Named args, $1,
+// $2, ... bound by positional args — are parsed by sqlpp and bound at
+// execution, so query text never needs value splicing. UDFs in the
+// query evaluate against current data — the paper's Option 1,
 // enrich-during-querying.
-func (c *Cluster) Query(q string) ([]Value, error) {
+//
+// The returned Rows pulls rows on demand (see Rows for lifetime and
+// cancellation semantics); Close it when done. For small results,
+// Rows.Collect materializes a slice.
+func (c *Cluster) Query(ctx context.Context, q string, args ...any) (*Rows, error) {
 	stmts, err := sqlpp.Parse(q)
 	if err != nil {
 		return nil, err
@@ -130,15 +251,75 @@ func (c *Cluster) Query(q string) ([]Value, error) {
 	if !ok {
 		return nil, fmt.Errorf("idea: Query expects a SELECT, got %T (use Execute)", stmts[0])
 	}
-	ctx := query.NewContext(c.inner)
-	out, err := query.ExecuteSelect(ctx, nil, qs.Sel)
+	params, err := bindArgs(sqlpp.CollectParams(stmts), args)
 	if err != nil {
 		return nil, err
 	}
-	elems := out.ArrayVal()
-	vals := make([]Value, len(elems))
-	for i, e := range elems {
-		vals[i] = Value{e}
+	cur, err := query.ExecuteSelectCursor(c.queryContext(params), nil, qs.Sel)
+	if err != nil {
+		return nil, err
 	}
-	return vals, nil
+	return &Rows{ctx: ctx, cur: cur}, nil
+}
+
+// QueryAll is the pre-cursor-API Query: it materializes the whole
+// result.
+//
+// Deprecated: use Query, which streams results and accepts a context
+// and parameters; QueryAll will be removed next release.
+func (c *Cluster) QueryAll(q string) ([]Value, error) {
+	rows, err := c.Query(context.Background(), q)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Collect()
+}
+
+// bindArgs converts the caller's arguments into the engine's parameter
+// map and validates the binding set both ways: every referenced $name
+// needs an argument, and every argument must be referenced (a stray
+// argument is almost always a typo'd name or a forgotten edit).
+func bindArgs(referenced []string, args []any) (map[string]adm.Value, error) {
+	if len(args) == 0 && len(referenced) == 0 {
+		return nil, nil
+	}
+	params := make(map[string]adm.Value, len(args))
+	pos := 0
+	for _, a := range args {
+		name := ""
+		value := a
+		if na, isNamed := a.(NamedArg); isNamed {
+			name = strings.TrimPrefix(na.Name, "$")
+			value = na.Value
+			if name == "" {
+				return nil, fmt.Errorf("idea: NamedArg with empty name")
+			}
+		} else {
+			pos++
+			name = strconv.Itoa(pos)
+		}
+		if _, dup := params[name]; dup {
+			return nil, fmt.Errorf("idea: parameter $%s bound twice", name)
+		}
+		v, err := valueFromAny(value)
+		if err != nil {
+			return nil, fmt.Errorf("idea: argument $%s: %w", name, err)
+		}
+		params[name] = v
+	}
+	ref := make(map[string]bool, len(referenced))
+	for _, n := range referenced {
+		ref[n] = true
+	}
+	for name := range params {
+		if !ref[name] {
+			return nil, fmt.Errorf("idea: argument $%s is not referenced by the statement", name)
+		}
+	}
+	for _, n := range referenced {
+		if _, bound := params[n]; !bound {
+			return nil, fmt.Errorf("idea: missing argument for parameter $%s", n)
+		}
+	}
+	return params, nil
 }

@@ -192,30 +192,40 @@ func PointVal(x, y float64) Value { return Value{adm.Point(x, y)} }
 func TimeVal(t time.Time) Value { return Value{adm.DateTime(t)} }
 
 func fromAny(x any) adm.Value {
+	v, err := valueFromAny(x)
+	if err != nil {
+		panic(fmt.Sprintf("idea: %v", err))
+	}
+	return v
+}
+
+// valueFromAny is the non-panicking conversion behind the builders and
+// statement-parameter binding.
+func valueFromAny(x any) (adm.Value, error) {
 	switch t := x.(type) {
 	case Value:
-		return t.v
+		return t.v, nil
 	case nil:
-		return adm.Null()
+		return adm.Null(), nil
 	case bool:
-		return adm.Bool(t)
+		return adm.Bool(t), nil
 	case int:
-		return adm.Int(int64(t))
+		return adm.Int(int64(t)), nil
 	case int64:
-		return adm.Int(t)
+		return adm.Int(t), nil
 	case float64:
-		return adm.Double(t)
+		return adm.Double(t), nil
 	case string:
-		return adm.String(t)
+		return adm.String(t), nil
 	case time.Time:
-		return adm.DateTime(t)
+		return adm.DateTime(t), nil
 	case []byte:
 		v, err := adm.ParseJSON(t)
 		if err != nil {
-			panic(fmt.Sprintf("idea: bad JSON literal: %v", err))
+			return adm.Value{}, fmt.Errorf("bad JSON literal: %v", err)
 		}
-		return v
+		return v, nil
 	default:
-		panic(fmt.Sprintf("idea: cannot convert %T to a Value", x))
+		return adm.Value{}, fmt.Errorf("cannot convert %T to a Value", x)
 	}
 }
