@@ -184,7 +184,9 @@ func (c *Cluster) CreateIndex(name, dataset, field, kind string) error {
 	case "RTREE":
 		return ds.CreateSpatialIndex(name, field)
 	case "BTREE", "":
-		return ds.CreateBTreeIndex(name, lsm.FieldKeyExtractor(field))
+		// Field-recording creation so the query planner can match WHERE
+		// predicates on the field to this index.
+		return ds.CreateFieldBTreeIndex(name, field)
 	}
 	return fmt.Errorf("cluster: unknown index kind %q", kind)
 }

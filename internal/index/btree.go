@@ -10,6 +10,7 @@ package index
 
 import (
 	"slices"
+	"sync"
 
 	"github.com/ideadb/idea/internal/adm"
 )
@@ -40,6 +41,66 @@ type BTree struct {
 
 // NewBTree returns an empty tree.
 func NewBTree() *BTree { return &BTree{} }
+
+// poolItemCap is the canonical item-array capacity for pooled nodes:
+// maxItems plus one slot of headroom so an in-place merge of a single
+// item never reallocates.
+const poolItemCap = maxItems + 1
+
+// nodePool recycles node structs and their canonical-capacity item
+// arrays across tree lifetimes. The LSM memtable is the hot client:
+// every freeze retires a whole tree wholesale at the next merge, and
+// every fresh memtable rebuilds nodes at the same ~127-items-per-node
+// rate, so Release/newNode round-trips replace the largest steady-state
+// allocation block with reuse. Children arrays are not pooled (internal
+// nodes are 1/64th of the tree); item arrays grown past the canonical
+// capacity mid-batch are dropped for the GC at release.
+var nodePool sync.Pool
+
+func newNode() *btreeNode {
+	n, _ := nodePool.Get().(*btreeNode)
+	if n == nil {
+		n = &btreeNode{}
+	}
+	if n.items == nil {
+		n.items = make([]Item, 0, poolItemCap)
+	}
+	return n
+}
+
+// releaseNode returns a dead node to the pool. The caller guarantees
+// nothing references the node; its item array is cleared to full
+// capacity so pooled storage never pins record payloads.
+func releaseNode(n *btreeNode) {
+	if cap(n.items) == poolItemCap {
+		full := n.items[:poolItemCap]
+		clear(full)
+		n.items = full[:0]
+	} else {
+		n.items = nil
+	}
+	n.children = nil
+	nodePool.Put(n)
+}
+
+// Release returns every node of the tree to the shared pool and empties
+// the tree. The caller must guarantee no cursor, snapshot, or concurrent
+// reader still references the tree: the LSM layer calls it when a merge
+// retires a frozen memtable that no Snapshot ever observed.
+func (t *BTree) Release() {
+	if t.root != nil {
+		releaseSubtree(t.root)
+	}
+	t.root = nil
+	t.size = 0
+}
+
+func releaseSubtree(n *btreeNode) {
+	for _, c := range n.children {
+		releaseSubtree(c)
+	}
+	releaseNode(n)
+}
 
 // Len returns the number of stored items.
 func (t *BTree) Len() int { return t.size }
@@ -87,16 +148,18 @@ func (t *BTree) Get(key adm.Value) (adm.Value, bool) {
 // whether an existing item was replaced.
 func (t *BTree) Put(key, val adm.Value) bool {
 	if t.root == nil {
-		t.root = &btreeNode{items: []Item{{key, val}}}
+		n := newNode()
+		n.items = append(n.items, Item{key, val})
+		t.root = n
 		t.size = 1
 		return false
 	}
 	if len(t.root.items) >= maxItems {
 		mid, right := t.root.split(maxItems / 2)
-		t.root = &btreeNode{
-			items:    []Item{mid},
-			children: []*btreeNode{t.root, right},
-		}
+		parent := newNode()
+		parent.items = append(parent.items, mid)
+		parent.children = append(parent.children, t.root, right)
+		t.root = parent
 	}
 	replaced := t.root.insert(key, val)
 	if !replaced {
@@ -109,11 +172,13 @@ func (t *BTree) Put(key, val adm.Value) bool {
 // and the new right sibling.
 func (n *btreeNode) split(i int) (Item, *btreeNode) {
 	mid := n.items[i]
-	right := &btreeNode{}
+	right := newNode()
 	right.items = append(right.items, n.items[i+1:]...)
+	clear(n.items[i:]) // don't pin the moved items through n's array
 	n.items = n.items[:i]
 	if !n.leaf() {
 		right.children = append(right.children, n.children[i+1:]...)
+		clear(n.children[i+1:])
 		n.children = n.children[:i+1]
 	}
 	return mid, right
@@ -166,17 +231,19 @@ func (t *BTree) PutBatch(run []Item, onNew func(Item)) {
 		return
 	}
 	if t.root == nil {
-		t.root = &btreeNode{}
+		t.root = newNode()
 	}
 	t.size += t.root.insertBatch(run, onNew)
 	// The root may come back overfull; split it into as many levels as
 	// the batch requires.
 	for len(t.root.items) > maxItems {
 		promoted, siblings := splitOverfull(t.root)
-		children := make([]*btreeNode, 0, len(siblings)+1)
-		children = append(children, t.root)
-		children = append(children, siblings...)
-		t.root = &btreeNode{items: promoted, children: children}
+		nr := newNode()
+		nr.items = append(nr.items, promoted...)
+		nr.children = make([]*btreeNode, 0, len(siblings)+1)
+		nr.children = append(nr.children, t.root)
+		nr.children = append(nr.children, siblings...)
+		t.root = nr
 	}
 }
 
@@ -288,6 +355,11 @@ func (n *btreeNode) mergeLeaf(run []Item, onNew func(Item)) int {
 // no further rebalancing. The single pass matters: chaining ordinary
 // binary splits would re-copy the remaining tail once per split, going
 // quadratic exactly when a large sorted run lands in one leaf.
+//
+// Each sibling copies its chunk into a singly-owned (pool-drawn) array
+// rather than aliasing the overfull node's storage: single ownership is
+// the precondition for Release recycling nodes, and the copy is part of
+// the same linear pass, so the anti-quadratic property is unchanged.
 func splitOverfull(n *btreeNode) (promoted []Item, siblings []*btreeNode) {
 	items := n.items
 	children := n.children
@@ -295,16 +367,6 @@ func splitOverfull(n *btreeNode) (promoted []Item, siblings []*btreeNode) {
 	est := len(items) / (chunk + 1)
 	promoted = make([]Item, 0, est)
 	siblings = make([]*btreeNode, 0, est)
-	// Chunks alias the overfull node's backing array through
-	// capacity-clipped subslices: no copying, no clearing. The clip
-	// makes any later append into a chunk reallocate, so chunks can
-	// never scribble on one another. The shared array lives until every
-	// chunk node dies — for an LSM memtable that is the next freeze,
-	// which drops the whole tree at once.
-	n.items = items[:chunk:chunk]
-	if len(children) > 0 {
-		n.children = children[: chunk+1 : chunk+1]
-	}
 	pos := chunk
 	for pos < len(items) {
 		promoted = append(promoted, items[pos])
@@ -313,12 +375,22 @@ func splitOverfull(n *btreeNode) (promoted []Item, siblings []*btreeNode) {
 		if rem := len(items) - pos; rem <= maxItems {
 			size = rem // the final sibling takes the whole remainder
 		}
-		s := &btreeNode{items: items[pos : pos+size : pos+size]}
+		s := newNode()
+		s.items = append(s.items, items[pos:pos+size]...)
 		if len(children) > 0 {
-			s.children = children[pos : pos+size+1 : pos+size+1]
+			s.children = append(s.children, children[pos:pos+size+1]...)
 		}
 		siblings = append(siblings, s)
 		pos += size
+	}
+	// n keeps sole ownership of the original (possibly oversized) array,
+	// truncated to the leftmost chunk; the moved tail is cleared so it
+	// never pins the copied items.
+	clear(items[chunk:])
+	n.items = items[:chunk]
+	if len(children) > 0 {
+		clear(children[chunk+1:])
+		n.children = children[:chunk+1]
 	}
 	return promoted, siblings
 }
@@ -333,6 +405,53 @@ func (t *BTree) Cursor() *Cursor {
 	if t.root != nil {
 		c.descendFirst(t.root)
 	}
+	return c
+}
+
+// Bound is one end of a key range for bounded cursors. The zero value
+// is unbounded (no constraint at that end).
+type Bound struct {
+	key       adm.Value
+	inclusive bool
+	set       bool
+}
+
+// Include bounds a range at key, with key itself in range.
+func Include(key adm.Value) Bound { return Bound{key: key, inclusive: true, set: true} }
+
+// Exclude bounds a range at key, with key itself out of range.
+func Exclude(key adm.Value) Bound { return Bound{key: key, set: true} }
+
+// Unbounded leaves one end of a range open.
+func Unbounded() Bound { return Bound{} }
+
+// Unbounded reports whether the bound imposes no constraint.
+func (b Bound) Unbounded() bool { return !b.set }
+
+// Key returns the bounding key and whether it is inclusive; meaningless
+// for unbounded bounds.
+func (b Bound) Key() (adm.Value, bool) { return b.key, b.inclusive }
+
+// Inclusive reports whether the bound includes its key; meaningless for
+// unbounded bounds.
+func (b Bound) Inclusive() bool { return b.inclusive }
+
+// CursorRange returns a cursor over the items within the bound pair, in
+// ascending key order. Unlike CursorAt plus a caller-side check, the
+// upper bound stops the walk inside the tree: a range predicate over a
+// large index touches one descent plus the in-range leaves, never the
+// tail of the tree.
+func (t *BTree) CursorRange(lo, hi Bound) *Cursor {
+	var c *Cursor
+	if lo.set {
+		c = t.CursorAt(lo.key)
+		if !lo.inclusive {
+			c.skip, c.skipSet = lo.key, true
+		}
+	} else {
+		c = t.Cursor()
+	}
+	c.hi = hi
 	return c
 }
 
@@ -366,10 +485,14 @@ type cursorFrame struct {
 
 // Cursor iterates a BTree in ascending key order, one item per Next
 // call. The zero value is not usable; obtain cursors from
-// BTree.Cursor/CursorAt.
+// BTree.Cursor/CursorAt/CursorRange.
 type Cursor struct {
 	stack []cursorFrame
 	buf   [8]cursorFrame // inline storage: tree heights stay tiny
+
+	hi      Bound     // upper bound; zero value = unbounded
+	skip    adm.Value // exclusive lower bound to swallow once
+	skipSet bool
 }
 
 // descendFirst pushes the path to the leftmost leaf of the subtree.
@@ -383,7 +506,8 @@ func (c *Cursor) descendFirst(n *btreeNode) {
 	}
 }
 
-// Next returns the next item in key order.
+// Next returns the next item in key order (within the cursor's bounds,
+// for bounded cursors).
 func (c *Cursor) Next() (Item, bool) {
 	for len(c.stack) > 0 {
 		top := &c.stack[len(c.stack)-1]
@@ -392,7 +516,7 @@ func (c *Cursor) Next() (Item, bool) {
 			if top.idx < len(n.items) {
 				it := n.items[top.idx]
 				top.idx++
-				return it, true
+				return c.emit(it)
 			}
 			c.stack = c.stack[:len(c.stack)-1]
 			continue
@@ -404,11 +528,31 @@ func (c *Cursor) Next() (Item, bool) {
 			// capture the child before growing the stack.
 			child := n.children[top.idx]
 			c.descendFirst(child)
-			return it, true
+			return c.emit(it)
 		}
 		c.stack = c.stack[:len(c.stack)-1]
 	}
 	return Item{}, false
+}
+
+// emit applies the cursor's range bounds to a candidate item: it
+// swallows the exclusive lower bound key (at most once — keys are
+// unique) and exhausts the cursor at the first item past the upper
+// bound.
+func (c *Cursor) emit(it Item) (Item, bool) {
+	if c.skipSet {
+		c.skipSet = false
+		if adm.Compare(it.Key, c.skip) == 0 {
+			return c.Next()
+		}
+	}
+	if c.hi.set {
+		if cmp := adm.Compare(it.Key, c.hi.key); cmp > 0 || (cmp == 0 && !c.hi.inclusive) {
+			c.stack = c.stack[:0]
+			return Item{}, false
+		}
+	}
+	return it, true
 }
 
 // Delete removes key, reporting whether it was present.
@@ -418,11 +562,15 @@ func (t *BTree) Delete(key adm.Value) bool {
 	}
 	removed := t.root.remove(key)
 	if len(t.root.items) == 0 && !t.root.leaf() {
+		old := t.root
 		t.root = t.root.children[0]
+		old.children = nil // keep the promoted child out of the release
+		releaseNode(old)
 	}
 	if removed {
 		t.size--
 		if t.size == 0 {
+			releaseNode(t.root)
 			t.root = nil
 		}
 	}
@@ -504,6 +652,8 @@ func (n *btreeNode) growChildIfNeeded(i int, key adm.Value) *btreeNode {
 	child.children = append(child.children, right.children...)
 	n.items = append(n.items[:i], n.items[i+1:]...)
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	right.children = nil // contents were copied into child; recycle the shell
+	releaseNode(right)
 	return child
 }
 

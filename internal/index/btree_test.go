@@ -535,3 +535,135 @@ func TestBTreeCursorAt(t *testing.T) {
 		}
 	}
 }
+
+// TestBTreeCursorRange checks bounded cursors against every bound-kind
+// combination over a dense key space, including batch-built trees.
+func TestBTreeCursorRange(t *testing.T) {
+	for _, batch := range []bool{false, true} {
+		bt := NewBTree()
+		if batch {
+			run := make([]Item, 0, 1000)
+			for i := 0; i < 2000; i += 2 {
+				run = append(run, Item{adm.Int(int64(i)), adm.Int(int64(i * 10))})
+			}
+			bt.PutBatch(run, nil)
+		} else {
+			for i := 0; i < 2000; i += 2 {
+				bt.Put(adm.Int(int64(i)), adm.Int(int64(i*10)))
+			}
+		}
+		collect := func(lo, hi Bound) []int64 {
+			var out []int64
+			cur := bt.CursorRange(lo, hi)
+			for {
+				it, ok := cur.Next()
+				if !ok {
+					return out
+				}
+				out = append(out, it.Key.IntVal())
+			}
+		}
+		want := func(from, to int64, loIncl, hiIncl bool) []int64 {
+			var out []int64
+			for i := int64(0); i < 2000; i += 2 {
+				if (i > from || (loIncl && i == from)) && (i < to || (hiIncl && i == to)) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		cases := []struct {
+			lo, hi Bound
+			want   []int64
+		}{
+			{Include(adm.Int(10)), Include(adm.Int(20)), want(10, 20, true, true)},
+			{Exclude(adm.Int(10)), Exclude(adm.Int(20)), want(10, 20, false, false)},
+			{Include(adm.Int(11)), Include(adm.Int(19)), want(11, 19, true, true)},
+			{Exclude(adm.Int(11)), Exclude(adm.Int(19)), want(11, 19, false, false)},
+			{Unbounded(), Include(adm.Int(6)), want(-1, 6, false, true)},
+			{Include(adm.Int(1994)), Unbounded(), want(1994, 1999, true, true)},
+			{Unbounded(), Unbounded(), want(-1, 1999, false, true)},
+			{Include(adm.Int(500)), Include(adm.Int(500)), []int64{500}},
+			{Exclude(adm.Int(500)), Include(adm.Int(500)), nil},
+			{Include(adm.Int(20)), Include(adm.Int(10)), nil},
+			{Include(adm.Int(5000)), Unbounded(), nil},
+			{Unbounded(), Include(adm.Int(-5)), nil},
+		}
+		for _, tc := range cases {
+			got := collect(tc.lo, tc.hi)
+			if !slices.Equal(got, tc.want) {
+				t.Errorf("batch=%v CursorRange(%v,%v) = %v, want %v", batch, tc.lo, tc.hi, got, tc.want)
+			}
+		}
+	}
+}
+
+// TestBTreeReleaseReuse releases trees back to the node pool and
+// verifies freshly built trees stay correct — the memtable freeze/merge
+// recycling loop in miniature. A released node whose array still
+// aliased another tree's storage would corrupt this immediately.
+func TestBTreeReleaseReuse(t *testing.T) {
+	model := make(map[int64]int64)
+	for round := 0; round < 6; round++ {
+		bt := NewBTree()
+		clear(model)
+		// Mix batch and point inserts so both construction paths draw
+		// from the pool.
+		run := make([]Item, 0, 3000)
+		for i := 0; i < 3000; i++ {
+			k := int64((i*7 + round) % 5000)
+			if _, dup := model[k]; dup {
+				continue
+			}
+			model[k] = int64(round*10000 + i)
+			run = append(run, Item{adm.Int(k), adm.Int(model[k])})
+		}
+		slices.SortFunc(run, func(a, b Item) int { return adm.Compare(a.Key, b.Key) })
+		bt.PutBatch(run, nil)
+		for i := 0; i < 500; i++ {
+			k := int64(6000 + i)
+			model[k] = int64(i)
+			bt.Put(adm.Int(k), adm.Int(int64(i)))
+		}
+		for i := 0; i < 200; i++ {
+			k := int64((i*13 + round) % 5000)
+			if bt.Delete(adm.Int(k)) {
+				delete(model, k)
+			} else if _, present := model[k]; present {
+				t.Fatalf("round %d: Delete(%d) missed a present key", round, k)
+			}
+		}
+		if bt.Len() != len(model) {
+			t.Fatalf("round %d: Len = %d, want %d", round, bt.Len(), len(model))
+		}
+		for k, v := range model {
+			got, ok := bt.Get(adm.Int(k))
+			if !ok || got.IntVal() != v {
+				t.Fatalf("round %d: Get(%d) = %v,%v want %d", round, k, got, ok, v)
+			}
+		}
+		// Ordered walk must match the sorted model too.
+		var prev adm.Value
+		first := true
+		n := 0
+		cur := bt.Cursor()
+		for {
+			it, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if !first && !adm.Less(prev, it.Key) {
+				t.Fatalf("round %d: cursor out of order", round)
+			}
+			prev, first = it.Key, false
+			n++
+		}
+		if n != len(model) {
+			t.Fatalf("round %d: cursor yielded %d items, want %d", round, n, len(model))
+		}
+		bt.Release()
+		if bt.Len() != 0 {
+			t.Fatalf("round %d: Release left Len = %d", round, bt.Len())
+		}
+	}
+}

@@ -338,15 +338,26 @@ func (d *Dataset) RTreeIndexForField(field string) []*RTreeIndex {
 	return nil
 }
 
-// CreateBTreeIndex attaches an ordered secondary index (one per
-// partition), back-filling existing records.
+// CreateBTreeIndex attaches an ordered secondary index with a custom
+// extractor (one per partition), back-filling existing records.
 func (d *Dataset) CreateBTreeIndex(name string, extract KeyExtractor) error {
+	return d.createBTreeIndex(name, "", extract)
+}
+
+// CreateFieldBTreeIndex attaches an ordered secondary index over a
+// named top-level field, recording the field so the query planner can
+// route WHERE predicates on it to an index range scan.
+func (d *Dataset) CreateFieldBTreeIndex(name, field string) error {
+	return d.createBTreeIndex(name, field, FieldKeyExtractor(field))
+}
+
+func (d *Dataset) createBTreeIndex(name, field string, extract KeyExtractor) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, dup := d.indexes[name]; dup {
 		return fmt.Errorf("lsm: dataset %s: duplicate index %q", d.name, name)
 	}
-	spec := indexSpec{perPartition: make([]SecondaryIndex, len(d.partitions))}
+	spec := indexSpec{field: field, perPartition: make([]SecondaryIndex, len(d.partitions))}
 	for i, p := range d.partitions {
 		ix := NewBTreeIndex(name, extract)
 		spec.perPartition[i] = ix
@@ -354,6 +365,35 @@ func (d *Dataset) CreateBTreeIndex(name string, extract KeyExtractor) error {
 	}
 	d.indexes[name] = spec
 	return nil
+}
+
+// BTreeIndexForField returns the name and per-partition instances of an
+// ordered index declared over the named field, or ("", nil) when none
+// exists — the query planner's pushdown probe.
+func (d *Dataset) BTreeIndexForField(field string) (string, []*BTreeIndex) {
+	if field == "" {
+		return "", nil
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for name, spec := range d.indexes {
+		if spec.field != field {
+			continue
+		}
+		out := make([]*BTreeIndex, 0, len(spec.perPartition))
+		for _, ix := range spec.perPartition {
+			bt, isBT := ix.(*BTreeIndex)
+			if !isBT {
+				out = nil
+				break
+			}
+			out = append(out, bt)
+		}
+		if out != nil {
+			return name, out
+		}
+	}
+	return "", nil
 }
 
 // RTreeIndexes returns the per-partition instances of the named spatial

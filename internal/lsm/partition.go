@@ -66,6 +66,11 @@ func DefaultOptions() Options {
 type component struct {
 	items []index.Item // ascending by key; tombstones are MISSING values
 	tree  *index.BTree // frozen memtable; nil for slice-backed runs
+
+	// shared marks components handed out to a Snapshot (set under the
+	// partition lock). A tiered merge may recycle the nodes of a frozen
+	// tree it retires — but only when no Snapshot ever observed it.
+	shared bool
 }
 
 func (c *component) get(key adm.Value) (adm.Value, bool) {
@@ -432,10 +437,18 @@ func (p *Partition) freezeLocked() {
 }
 
 // mergeLocked compacts every component into one, dropping shadowed
-// versions and tombstones (a full tiered merge).
+// versions and tombstones (a full tiered merge). Frozen memtable trees
+// that no Snapshot ever observed are released back to the B-tree node
+// pool — the memtable's node free-list recycled across freezes.
 func (p *Partition) mergeLocked() {
 	p.stats.Merges++
 	merged := mergeComponents(p.components, true)
+	for _, c := range p.components {
+		if c.tree != nil && !c.shared {
+			c.tree.Release()
+			c.tree = nil
+		}
+	}
 	p.components = []*component{{items: merged}}
 }
 
@@ -479,6 +492,11 @@ func (p *Partition) Snapshot() *Snapshot {
 	p.freezeLocked()
 	comps := make([]*component, len(p.components))
 	copy(comps, p.components)
+	for _, c := range comps {
+		// A component a snapshot can reach must never have its tree
+		// recycled by a later merge.
+		c.shared = true
+	}
 	p.mu.Unlock()
 	return &Snapshot{components: comps}
 }

@@ -1,0 +1,339 @@
+package lsm
+
+import (
+	"sync"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/index"
+)
+
+// IndexScanCursor streams the records selected by a secondary-index
+// range probe, resolving postings through the primary store of pinned
+// snapshots. The postings (primary keys only — never records) are
+// captured per partition at construction time, immediately after the
+// query pinned its snapshots, so the live-index/pinned-snapshot window
+// is a single instant; records are then resolved lazily, one per Next,
+// so a consumer that stops early never materializes the tail. A pk
+// indexed after the snapshot was pinned simply misses in the snapshot
+// and is skipped.
+type IndexScanCursor struct {
+	snaps []*Snapshot
+	pks   [][]adm.Value
+	part  int
+	pos   int
+}
+
+// NewIndexScanCursor probes one *BTreeIndex per partition snapshot
+// (idxs[i] belongs to snaps[i]'s partition) for the keys within
+// [lo, hi] and returns a cursor over the matching records. The probe
+// copies primary keys out under the index read lock and resolves them
+// afterwards, so no partition lock is ever taken while an index lock is
+// held.
+func NewIndexScanCursor(snaps []*Snapshot, idxs []*BTreeIndex, lo, hi index.Bound) *IndexScanCursor {
+	pks := make([][]adm.Value, len(idxs))
+	for i, ix := range idxs {
+		pks[i] = ix.LookupRangeBounds(lo, hi)
+	}
+	return &IndexScanCursor{snaps: snaps, pks: pks}
+}
+
+// Next resolves and returns the next matched record. Output order is
+// postings order per partition (insertion order within a secondary
+// key), not primary-key order; consumers needing an order sort above.
+func (c *IndexScanCursor) Next() (key, rec adm.Value, ok bool) {
+	for {
+		if c.part >= len(c.pks) {
+			return adm.Value{}, adm.Value{}, false
+		}
+		if c.pos >= len(c.pks[c.part]) {
+			c.part++
+			c.pos = 0
+			continue
+		}
+		pk := c.pks[c.part][c.pos]
+		c.pos++
+		if rec, found := c.snaps[c.part].Get(pk); found {
+			return pk, rec, true
+		}
+	}
+}
+
+// Matched counts the postings captured by the probe (before snapshot
+// resolution) — the observable selectivity of the pushdown.
+func (c *IndexScanCursor) Matched() int {
+	n := 0
+	for _, p := range c.pks {
+		n += len(p)
+	}
+	return n
+}
+
+// ScanOrder selects how a parallel scan's partition streams are
+// combined.
+type ScanOrder int
+
+const (
+	// PartitionOrder drains partitions in index order, each in key
+	// order — byte-for-byte the sequential ScanCursor's output, with the
+	// partition walks (component merges plus any pushed filter) running
+	// concurrently ahead of the consumer.
+	PartitionOrder ScanOrder = iota
+	// KeyOrder merges the partition streams into one global
+	// primary-key-ordered stream — the k-way merge shape of mergeCursor
+	// lifted to partition granularity (each input is already a merged
+	// snapshot cursor, and hash routing guarantees a key lives in
+	// exactly one partition, so a plain min-pick suffices).
+	KeyOrder
+	// Unordered fans every worker into one shared channel: maximum
+	// overlap, arrival order nondeterministic. Only for consumers whose
+	// result is order-insensitive (e.g. count/min/max aggregation).
+	Unordered
+)
+
+// parItem is one record (or a terminal worker error) in flight from a
+// scan worker to the consumer.
+type parItem struct {
+	key, rec adm.Value
+	err      error
+}
+
+// scanBatchSize is how many records a worker accumulates per channel
+// send. Batching amortizes the channel synchronization (and the done-
+// select teardown check) across many records — per-record sends make
+// the exchange slower than a serial scan.
+const scanBatchSize = 128
+
+// ParallelScanCursor scans partition snapshots concurrently: one
+// goroutine per partition walks its Snapshot.Cursor (optionally
+// applying a pushed-down filter) and feeds a bounded channel in
+// batches; Next combines the streams per the ScanOrder. Close tears
+// the workers down and blocks until they exit, so an abandoned scan
+// leaks nothing. Next and Close must be called from one goroutine (the
+// cursor, like Rows, is not concurrent-safe); Close is idempotent and
+// safe mid-scan.
+type ParallelScanCursor struct {
+	order ScanOrder
+	chans []chan []parItem
+	free  chan []parItem // drained batches recycled back to workers
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	cur    int // PartitionOrder/Unordered: channel being drained
+	bufs   [][]parItem
+	poss   []int
+	heads  []parItem
+	live   []bool
+	primed bool
+
+	err    error
+	closed bool
+}
+
+// NewParallelScanCursor starts one scan worker per snapshot. filter,
+// when non-nil, runs inside the workers — it must be safe for
+// concurrent calls — and drops records it returns false for; an error
+// aborts the scan and surfaces from Next. buf is the per-channel bound
+// in batches of scanBatchSize records (<=0 selects a default sized to
+// keep workers ahead of the consumer without buffering whole
+// partitions).
+func NewParallelScanCursor(snaps []*Snapshot, filter func(key, rec adm.Value) (bool, error), order ScanOrder, buf int) *ParallelScanCursor {
+	if buf <= 0 {
+		buf = 8
+	}
+	c := &ParallelScanCursor{order: order, done: make(chan struct{})}
+	nchans := len(snaps)
+	if order == Unordered {
+		nchans = 1
+	}
+	c.chans = make([]chan []parItem, nchans)
+	for i := range c.chans {
+		c.chans[i] = make(chan []parItem, buf)
+	}
+	// The free list is prefilled with the in-flight maximum (channel
+	// buffers + one per worker + one per consumer stream + transit
+	// slack), carved from one backing array: workers recycle drained
+	// batches instead of allocating, so a scan's allocation count is a
+	// small constant independent of partition size.
+	nbatch := nchans*buf + len(snaps) + nchans + 2
+	c.free = make(chan []parItem, nbatch)
+	backing := make([]parItem, nbatch*scanBatchSize)
+	for i := 0; i < nbatch; i++ {
+		c.free <- backing[i*scanBatchSize : i*scanBatchSize : (i+1)*scanBatchSize]
+	}
+	c.bufs = make([][]parItem, nchans)
+	c.poss = make([]int, nchans)
+	c.wg.Add(len(snaps))
+	for i, s := range snaps {
+		out := c.chans[0]
+		if order != Unordered {
+			out = c.chans[i]
+		}
+		go c.scanWorker(s, filter, out, order != Unordered)
+	}
+	if order == Unordered {
+		// The shared channel closes once after every worker exits.
+		go func() {
+			c.wg.Wait()
+			close(c.chans[0])
+		}()
+	}
+	return c
+}
+
+func (c *ParallelScanCursor) scanWorker(s *Snapshot, filter func(key, rec adm.Value) (bool, error), out chan<- []parItem, ownsChan bool) {
+	defer c.wg.Done()
+	if ownsChan {
+		defer close(out)
+	}
+	cur := s.Cursor()
+	getBatch := func() []parItem {
+		select {
+		case b := <-c.free:
+			return b[:0]
+		default:
+			return make([]parItem, 0, scanBatchSize)
+		}
+	}
+	batch := getBatch()
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		select {
+		case out <- batch:
+			batch = getBatch()
+			return true
+		case <-c.done:
+			return false
+		}
+	}
+	for {
+		k, r, ok := cur.Next()
+		if !ok {
+			flush()
+			return
+		}
+		if filter != nil {
+			keep, err := filter(k, r)
+			if err != nil {
+				batch = append(batch, parItem{err: err})
+				flush()
+				return
+			}
+			if !keep {
+				continue
+			}
+		}
+		batch = append(batch, parItem{key: k, rec: r})
+		if len(batch) == scanBatchSize && !flush() {
+			return
+		}
+	}
+}
+
+// fetch returns the next item of stream i, refilling its batch buffer
+// from the channel as needed. ok=false means the stream is exhausted.
+func (c *ParallelScanCursor) fetch(i int) (parItem, bool) {
+	for {
+		if c.poss[i] < len(c.bufs[i]) {
+			it := c.bufs[i][c.poss[i]]
+			c.poss[i]++
+			return it, true
+		}
+		b, open := <-c.chans[i]
+		if !open {
+			return parItem{}, false
+		}
+		if old := c.bufs[i]; old != nil {
+			select {
+			case c.free <- old:
+			default:
+			}
+		}
+		c.bufs[i], c.poss[i] = b, 0
+	}
+}
+
+// Next returns the next record per the cursor's ScanOrder. After
+// ok=false (exhaustion, error, or Close) the cursor stays exhausted.
+func (c *ParallelScanCursor) Next() (key, rec adm.Value, ok bool, err error) {
+	if c.closed || c.err != nil {
+		return adm.Value{}, adm.Value{}, false, c.err
+	}
+	if c.order == KeyOrder {
+		return c.nextKeyOrder()
+	}
+	for c.cur < len(c.chans) {
+		it, ok := c.fetch(c.cur)
+		if !ok {
+			c.cur++
+			continue
+		}
+		if it.err != nil {
+			c.fail(it.err)
+			return adm.Value{}, adm.Value{}, false, c.err
+		}
+		return it.key, it.rec, true, nil
+	}
+	return adm.Value{}, adm.Value{}, false, nil
+}
+
+func (c *ParallelScanCursor) nextKeyOrder() (key, rec adm.Value, ok bool, err error) {
+	if !c.primed {
+		c.primed = true
+		c.heads = make([]parItem, len(c.chans))
+		c.live = make([]bool, len(c.chans))
+		for i := range c.chans {
+			if c.recv(i); c.err != nil {
+				return adm.Value{}, adm.Value{}, false, c.err
+			}
+		}
+	}
+	best := -1
+	for i := range c.heads {
+		if c.live[i] && (best < 0 || adm.Less(c.heads[i].key, c.heads[best].key)) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return adm.Value{}, adm.Value{}, false, nil
+	}
+	out := c.heads[best]
+	if c.recv(best); c.err != nil {
+		return adm.Value{}, adm.Value{}, false, c.err
+	}
+	return out.key, out.rec, true, nil
+}
+
+// recv refills head i, recording a worker error in c.err (and tearing
+// the scan down) when one arrives.
+func (c *ParallelScanCursor) recv(i int) {
+	it, ok := c.fetch(i)
+	if !ok {
+		c.live[i] = false
+		return
+	}
+	if it.err != nil {
+		c.fail(it.err)
+		return
+	}
+	c.heads[i], c.live[i] = it, true
+}
+
+func (c *ParallelScanCursor) fail(err error) {
+	c.err = err
+	c.Close()
+}
+
+// Close stops the workers and waits for them to exit. It is safe to
+// call mid-scan, after exhaustion, and repeatedly.
+func (c *ParallelScanCursor) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	close(c.done)
+	// Drain nothing: workers select on done for every send, so they
+	// observe the close even while blocked on a full channel.
+	c.wg.Wait()
+}

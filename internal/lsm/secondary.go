@@ -353,6 +353,27 @@ func (ix *BTreeIndex) Lookup(key adm.Value) []adm.Value {
 	return append([]adm.Value(nil), v.ArrayVal()...)
 }
 
+// LookupRangeBounds returns the primary keys whose secondary key falls
+// within the bound pair (either end may be unbounded or exclusive),
+// walking only the in-range portion of the tree via a bounded cursor.
+// The returned pk slice is freshly built, so the caller may resolve the
+// keys against the primary store after this call returns — without
+// holding the index lock, which keeps the index-lock → partition-lock
+// order out of the read path entirely.
+func (ix *BTreeIndex) LookupRangeBounds(lo, hi index.Bound) []adm.Value {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var pks []adm.Value
+	cur := ix.tree.CursorRange(lo, hi)
+	for {
+		it, ok := cur.Next()
+		if !ok {
+			return pks
+		}
+		pks = append(pks, it.Val.ArrayVal()...)
+	}
+}
+
 // LookupRange returns the primary keys with from <= key <= to.
 func (ix *BTreeIndex) LookupRange(from, to adm.Value) []adm.Value {
 	ix.mu.RLock()

@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -74,6 +75,18 @@ type Context struct {
 	// arguments; referencing a parameter then fails at evaluation.
 	Params map[string]adm.Value
 
+	// Std is the caller's cancellation context. Row-producing loops poll
+	// it via Err so a cancelled statement stops between rows rather than
+	// running to completion. Nil means "never cancelled".
+	Std context.Context
+
+	// DisableIndexScan and DisableParallelScan switch off the
+	// corresponding planner rewrites (see plan_select.go). They exist so
+	// benchmarks and plan tests can compare strategies on one dataset;
+	// production callers leave them false.
+	DisableIndexScan    bool
+	DisableParallelScan bool
+
 	mu        sync.Mutex
 	snapshots map[string][]*lsm.Snapshot
 }
@@ -81,6 +94,14 @@ type Context struct {
 // NewContext returns a fresh evaluation context over the catalog.
 func NewContext(cat Catalog) *Context {
 	return &Context{Catalog: cat, snapshots: make(map[string][]*lsm.Snapshot)}
+}
+
+// Err reports the cancellation state of the caller's context.
+func (c *Context) Err() error {
+	if c.Std == nil {
+		return nil
+	}
+	return c.Std.Err()
 }
 
 // Pin returns the pinned per-partition snapshots of the named dataset,
@@ -108,6 +129,7 @@ type evalState struct {
 	ctx      *Context
 	group    []*Env
 	groupSet bool // true inside a GROUP BY context, even for empty groups
+	aggVals  map[*sqlpp.Call]adm.Value
 	prepared *PreparedEnrich
 	depth    int
 }
@@ -115,12 +137,24 @@ type evalState struct {
 func (st evalState) withGroup(group []*Env) evalState {
 	st.group = group
 	st.groupSet = true
+	st.aggVals = nil
+	return st
+}
+
+// withAggVals enters a streaming-aggregation context: aggregate calls
+// resolve to pre-accumulated values instead of re-scanning a buffered
+// group (the streaming hash aggregate never keeps raw tuples around).
+func (st evalState) withAggVals(vals map[*sqlpp.Call]adm.Value) evalState {
+	st.group = nil
+	st.groupSet = true
+	st.aggVals = vals
 	return st
 }
 
 func (st evalState) noGroup() evalState {
 	st.group = nil
 	st.groupSet = false
+	st.aggVals = nil
 	return st
 }
 

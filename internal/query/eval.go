@@ -104,6 +104,15 @@ func evalCall(st evalState, env *Env, call *sqlpp.Call) (adm.Value, error) {
 	// Aggregates: only meaningful with a group context; as a scalar they
 	// fall through to the collection (array_*) interpretation below.
 	if call.Ns == "" && IsAggregate(strings.ToLower(call.Name)) {
+		if st.aggVals != nil {
+			// Streaming hash aggregate: the group was folded into
+			// per-call accumulators as tuples flowed by; a call missing
+			// from the map means the collector failed to enumerate it.
+			if v, ok := st.aggVals[call]; ok {
+				return v, nil
+			}
+			return adm.Value{}, fmt.Errorf("query: internal: aggregate %s not pre-accumulated", call.Name)
+		}
 		if st.groupSet {
 			return evalAggregate(st, call)
 		}

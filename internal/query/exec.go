@@ -37,6 +37,9 @@ func executeSelect(st evalState, env *Env, sel *sqlpp.SelectExpr) (adm.Value, er
 	for _, fc := range sel.From {
 		var next []*Env
 		for _, tu := range tuples {
+			if err := st.ctx.Err(); err != nil {
+				return adm.Value{}, err
+			}
 			coll, err := fromCollection(st, tu, fc.Source)
 			if err != nil {
 				return adm.Value{}, err
@@ -63,6 +66,9 @@ func executeSelect(st evalState, env *Env, sel *sqlpp.SelectExpr) (adm.Value, er
 	if sel.Where != nil {
 		kept := tuples[:0]
 		for _, tu := range tuples {
+			if err := st.ctx.Err(); err != nil {
+				return adm.Value{}, err
+			}
 			v, err := eval(st, tu, sel.Where)
 			if err != nil {
 				return adm.Value{}, err
@@ -193,7 +199,10 @@ func finishSelect(st evalState, sel *sqlpp.SelectExpr, tuples []*Env) (adm.Value
 		}
 	}
 
-	// LIMIT.
+	// LIMIT. DISTINCT dedupes projected rows, so with DISTINCT the limit
+	// must apply after projection+dedupe (LIMIT n means n distinct rows);
+	// without it the limit truncates the row set before projecting.
+	limit := -1
 	if sel.Limit != nil {
 		lv, err := eval(st, nil, sel.Limit)
 		if err != nil {
@@ -203,14 +212,18 @@ func finishSelect(st evalState, sel *sqlpp.SelectExpr, tuples []*Env) (adm.Value
 		if !ok || n < 0 {
 			return adm.Value{}, fmt.Errorf("query: LIMIT must be a non-negative integer")
 		}
-		if int(n) < len(rows) {
-			rows = rows[:n]
-		}
+		limit = int(n)
+	}
+	if limit >= 0 && !sel.Distinct && limit < len(rows) {
+		rows = rows[:limit]
 	}
 
 	// Projection.
 	out := make([]adm.Value, 0, len(rows))
 	for _, r := range rows {
+		if err := st.ctx.Err(); err != nil {
+			return adm.Value{}, err
+		}
 		v, err := projectRow(rowState(r), r.env, sel)
 		if err != nil {
 			return adm.Value{}, err
@@ -220,6 +233,9 @@ func finishSelect(st evalState, sel *sqlpp.SelectExpr, tuples []*Env) (adm.Value
 
 	if sel.Distinct {
 		out = dedupe(out)
+		if limit >= 0 && limit < len(out) {
+			out = out[:limit]
+		}
 	}
 	return adm.Array(out), nil
 }
@@ -479,7 +495,8 @@ func evalAggregate(st evalState, call *sqlpp.Call) (adm.Value, error) {
 // aggregateOver folds an aggregate over a value slice, skipping unknown
 // values (SQL semantics).
 func aggregateOver(name string, vals []adm.Value) (adm.Value, error) {
-	switch strings.ToLower(name) {
+	name = strings.ToLower(name)
+	switch name {
 	case "count":
 		n := int64(0)
 		for _, v := range vals {

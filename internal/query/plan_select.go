@@ -1,0 +1,543 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/index"
+	"github.com/ideadb/idea/internal/lsm"
+	"github.com/ideadb/idea/internal/sqlpp"
+)
+
+// ExecuteSelectCursor plans and opens a pull cursor for a query block.
+// Leading LETs and the LIMIT expression are evaluated eagerly (they are
+// bound once per query); everything downstream is pulled lazily.
+//
+// Planning decisions, in order:
+//
+//  1. Index pushdown — an equality or range conjunct on a
+//     field-indexed column of the first FROM dataset becomes a
+//     secondary-index range probe resolved through the primary,
+//     instead of a full scan. The full WHERE stays as a residual
+//     filter, so over-approximate postings (cross-typed keys inside
+//     the range, stale-but-matching entries) never leak.
+//  2. Parallel partition scan — a multi-partition dataset scanned by a
+//     blocking consumer (GROUP BY / ORDER BY) or an unbounded one
+//     (no LIMIT) scans its partitions concurrently. Partition-order
+//     merge keeps output byte-identical to the serial scan; ORDER BY
+//     on the primary key ascending upgrades to a global key-order
+//     merge that replaces the sort; an order-insensitive aggregate
+//     (count/min/max, no GROUP BY) fans in unordered. Concurrency-safe
+//     WHERE conjuncts are evaluated inside the scan workers.
+//  3. Serial scan — everything else.
+func ExecuteSelectCursor(ctx *Context, env *Env, sel *sqlpp.SelectExpr) (*RowCursor, error) {
+	st, err := evalState{ctx: ctx}.deeper()
+	if err != nil {
+		return nil, err
+	}
+	rc := &RowCursor{st: st, sel: sel, limit: -1}
+	for _, l := range sel.Lets {
+		v, err := eval(st, env, l.Expr)
+		if err != nil {
+			return nil, err
+		}
+		env = Bind(env, l.Name, v)
+	}
+	if sel.Limit != nil {
+		lv, err := eval(st, nil, sel.Limit)
+		if err != nil {
+			return nil, err
+		}
+		n, ok := lv.AsInt()
+		if !ok || n < 0 {
+			return nil, fmt.Errorf("query: LIMIT must be a non-negative integer")
+		}
+		rc.limit = n
+	}
+
+	// Pin the snapshots of every dataset named in FROM position now,
+	// before returning the cursor: the caller's consistency contract is
+	// "the data as of the Query call", not "as of the first Next".
+	// (Datasets touched only inside subqueries or UDFs pin on first
+	// access, per the Context rule.)
+	scope := env
+	for _, fc := range sel.From {
+		if id, isIdent := fc.Source.(*sqlpp.Ident); isIdent {
+			if _, bound := scope.Lookup(id.Name); !bound && ctx.Catalog != nil {
+				if _, isDS := ctx.Catalog.Dataset(id.Name); isDS {
+					if _, err := ctx.Pin(id.Name); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		// Later FROM clauses may reference this alias; approximate the
+		// scope by binding it to MISSING (only presence matters here).
+		scope = Bind(scope, fc.Alias, adm.Missing())
+	}
+
+	rows, plan, err := planSelect(st, env, sel, rc.limit)
+	if err != nil {
+		return nil, err
+	}
+	rc.rows = rows
+	rc.plan = plan
+	if sel.Distinct {
+		rc.dedup = newValueDedup()
+	}
+	return rc, nil
+}
+
+// planSelect assembles the operator pipeline under the base env (with
+// leading LETs already bound) and returns it with its plan string.
+func planSelect(st evalState, env *Env, sel *sqlpp.SelectExpr, limit int64) (rowSrc, string, error) {
+	grouped := len(sel.GroupBy) > 0 || selectHasAggregate(sel)
+	var aggCalls []*sqlpp.Call
+	if grouped {
+		aggCalls = collectSelectAggs(sel)
+	}
+
+	var steps []string
+	var cur tupleCursor
+	wherePushed := false
+	orderHandled := false
+	reuse := false
+
+	if len(sel.From) > 0 {
+		leaf, desc, pushed, keyOrdered, ok, err := planScanLeaf(st, env, sel, grouped, aggCalls, limit)
+		if err != nil {
+			return nil, "", err
+		}
+		if ok {
+			// Env-reuse mode: the scan leaf recycles one binding box per
+			// record, so the bounded top-k heap and the streaming hash
+			// aggregate run allocation-flat. Only legal when nothing
+			// between the scan and the consumer retains an env without
+			// copying: single FROM, no FROM-LETs, a WHERE (if any) free
+			// of calls and subqueries, and a consumer that copies what it
+			// keeps — the top-k heap (copyEnv) or the hash aggregate
+			// (copyRep, one snapshot per new group).
+			safeWhere := sel.Where == nil || pushed || safeParallelPred(sel.Where)
+			topkReuse := !grouped && len(sel.OrderBy) > 0 && !keyOrdered &&
+				limit >= 0 && !sel.Distinct
+			reuse = len(sel.From) == 1 && len(sel.FromLets) == 0 && safeWhere &&
+				(topkReuse || grouped)
+			cur = &scanFromCursor{base: env, alias: sel.From[0].Alias, leaf: leaf, reuse: reuse}
+			steps = append(steps, desc)
+			wherePushed = pushed
+			orderHandled = keyOrdered
+		}
+	}
+	if cur == nil {
+		cur = &singleCursor{env: env}
+	}
+	for i, fc := range sel.From {
+		if i == 0 && len(steps) > 0 {
+			continue // planned leaf covers the first clause
+		}
+		cur = &fromCursor{st: st, outer: cur, src: fc.Source, alias: fc.Alias}
+		steps = append(steps, "from("+fc.Alias+")")
+	}
+	if len(sel.FromLets) > 0 {
+		cur = &letCursor{st: st, inner: cur, lets: sel.FromLets}
+		steps = append(steps, "let")
+	}
+	if sel.Where != nil && !wherePushed {
+		cur = &filterCursor{st: st, inner: cur, pred: sel.Where}
+		steps = append(steps, "filter")
+	}
+
+	var rows rowSrc
+	if grouped {
+		rows = &aggRows{st: st, inner: cur, keys: sel.GroupBy, calls: aggCalls, copyRep: reuse}
+		steps = append(steps, fmt.Sprintf("aggregate(%dkeys,%daggs)", len(sel.GroupBy), len(aggCalls)))
+	} else {
+		rows = &tupleRows{inner: cur}
+	}
+	switch {
+	case orderHandled:
+		steps = append(steps, "ordered-by-key")
+	case len(sel.OrderBy) > 0:
+		k := int64(-1)
+		if limit >= 0 && !sel.Distinct {
+			// DISTINCT limits distinct projected rows, not input rows, so
+			// the heap cannot be bounded under it.
+			k = limit
+		}
+		// Grouped rows carry per-group envs already (aggRows copied the
+		// representatives); only raw scan rows need copying on accept.
+		rows = &topkRows{st: st, inner: rows, orderBy: sel.OrderBy, k: k, copyEnv: reuse && !grouped}
+		if k >= 0 {
+			steps = append(steps, fmt.Sprintf("topk(%d)", k))
+		} else {
+			steps = append(steps, "sort")
+		}
+	}
+	steps = append(steps, "project")
+	if sel.Distinct {
+		steps = append(steps, "distinct")
+	}
+	if limit >= 0 {
+		steps = append(steps, fmt.Sprintf("limit(%d)", limit))
+	}
+	return rows, strings.Join(steps, "→"), nil
+}
+
+// planScanLeaf builds the record stream for the first FROM clause when
+// it names a dataset: an index range probe, a parallel partition scan,
+// or a serial scan. ok=false means the clause is not a plannable
+// dataset scan (expression source, shadowed name) and the generic
+// fromCursor path applies.
+func planScanLeaf(st evalState, env *Env, sel *sqlpp.SelectExpr, grouped bool, aggCalls []*sqlpp.Call, limit int64) (leaf collCursor, desc string, pushed, keyOrdered, ok bool, err error) {
+	fc := sel.From[0]
+	id, isIdent := fc.Source.(*sqlpp.Ident)
+	if !isIdent || st.ctx.Catalog == nil {
+		return nil, "", false, false, false, nil
+	}
+	if _, bound := env.Lookup(id.Name); bound {
+		return nil, "", false, false, false, nil
+	}
+	ds, isDS := st.ctx.Catalog.Dataset(id.Name)
+	if !isDS {
+		return nil, "", false, false, false, nil
+	}
+	snaps, err := st.ctx.Pin(id.Name)
+	if err != nil {
+		return nil, "", false, false, false, err
+	}
+
+	// 1. Index pushdown.
+	if !st.ctx.DisableIndexScan && sel.Where != nil {
+		if field, idxName, idxs, lo, hi, found := pickIndexRange(st.ctx, ds, fc.Alias, sel.Where); found {
+			sc := lsm.NewIndexScanCursor(snaps, idxs, lo, hi)
+			return &indexScanColl{sc: sc},
+				fmt.Sprintf("iscan(%s.%s on %s)", id.Name, idxName, field),
+				false, false, true, nil
+		}
+	}
+
+	// 2. Parallel partition scan.
+	parts := len(snaps)
+	blocking := grouped || len(sel.OrderBy) > 0
+	if !st.ctx.DisableParallelScan && parts > 1 && (blocking || limit < 0) {
+		order := lsm.PartitionOrder
+		if !grouped && orderByIsPkAsc(sel, fc.Alias, ds.PrimaryKey()) {
+			order = lsm.KeyOrder
+			keyOrdered = true
+		} else if unorderedSafe(sel, aggCalls) {
+			order = lsm.Unordered
+		}
+		var filter func(key, rec adm.Value) (bool, error)
+		if sel.Where != nil && len(sel.From) == 1 && len(sel.FromLets) == 0 && safeParallelPred(sel.Where) {
+			where, alias, base, fst := sel.Where, fc.Alias, env, st
+			// Workers call the filter concurrently; each call borrows a
+			// pooled binding box instead of allocating an Env per record
+			// (safeParallelPred guarantees evaluation never retains it).
+			boxes := sync.Pool{New: func() any { return &Env{parent: base, name: alias} }}
+			filter = func(_, rec adm.Value) (bool, error) {
+				box := boxes.Get().(*Env)
+				box.val = rec
+				v, err := eval(fst, box, where)
+				boxes.Put(box)
+				if err != nil {
+					return false, err
+				}
+				return Truthy(v), nil
+			}
+			pushed = true
+		}
+		pc := lsm.NewParallelScanCursor(snaps, filter, order, 0)
+		desc = fmt.Sprintf("pscan(%s,%s,%d)", id.Name, orderName(order), parts)
+		if pushed {
+			desc += "+filter"
+		}
+		return &parallelColl{pc: pc}, desc, pushed, keyOrdered, true, nil
+	}
+
+	// 3. Serial scan.
+	return &datasetCursor{sc: lsm.NewScanCursor(snaps)},
+		fmt.Sprintf("scan(%s)", id.Name), false, false, true, nil
+}
+
+func orderName(o lsm.ScanOrder) string {
+	switch o {
+	case lsm.KeyOrder:
+		return "key"
+	case lsm.Unordered:
+		return "unordered"
+	}
+	return "partition"
+}
+
+// orderByIsPkAsc reports whether ORDER BY is exactly the scanned
+// dataset's primary key ascending — then a key-order partition merge
+// already produces the output order and the sort stage is dropped.
+func orderByIsPkAsc(sel *sqlpp.SelectExpr, alias, pk string) bool {
+	if len(sel.OrderBy) != 1 || sel.OrderBy[0].Desc {
+		return false
+	}
+	f, ok := aliasField(sel.OrderBy[0].Expr, alias)
+	return ok && f == pk
+}
+
+// unorderedSafe gates the unordered fan-in: a single implicit group
+// whose aggregates are insensitive to arrival order (count/min/max;
+// sum/avg float folding is order-dependent) and whose output
+// expressions reference nothing but those aggregates — the group's
+// representative tuple is arrival-dependent, so it must not leak.
+func unorderedSafe(sel *sqlpp.SelectExpr, aggCalls []*sqlpp.Call) bool {
+	if len(sel.GroupBy) > 0 || len(sel.OrderBy) > 0 || len(aggCalls) == 0 {
+		return false
+	}
+	for _, call := range aggCalls {
+		switch strings.ToLower(call.Name) {
+		case "count", "min", "max":
+		default:
+			return false
+		}
+	}
+	if sel.SelectValue != nil && !exprRowFree(sel.SelectValue) {
+		return false
+	}
+	for _, p := range sel.Projections {
+		if p.Star || !exprRowFree(p.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// exprRowFree reports whether an expression can be evaluated without
+// touching the row environment — aggregate calls count as row-free
+// (they resolve from accumulators), bare identifiers do not.
+func exprRowFree(e sqlpp.Expr) bool {
+	switch n := e.(type) {
+	case nil:
+		return true
+	case *sqlpp.Literal, *sqlpp.Param:
+		return true
+	case *sqlpp.Call:
+		if n.Ns == "" && IsAggregate(strings.ToLower(n.Name)) {
+			return true
+		}
+		for _, a := range n.Args {
+			if !exprRowFree(a) {
+				return false
+			}
+		}
+		return n.Ns == "" // library calls may be stateful; keep them serial
+	case *sqlpp.Unary:
+		return exprRowFree(n.X)
+	case *sqlpp.Binary:
+		return exprRowFree(n.L) && exprRowFree(n.R)
+	case *sqlpp.CaseExpr:
+		if n.Operand != nil && !exprRowFree(n.Operand) {
+			return false
+		}
+		for _, w := range n.Whens {
+			if !exprRowFree(w.When) || !exprRowFree(w.Then) {
+				return false
+			}
+		}
+		return n.Else == nil || exprRowFree(n.Else)
+	}
+	return false
+}
+
+// safeParallelPred reports whether a predicate may be evaluated inside
+// concurrent scan workers: pure structural/comparison expressions over
+// the row and constants. Calls (UDFs may be stateful), EXISTS, and
+// subqueries stay on the consumer side.
+func safeParallelPred(e sqlpp.Expr) bool {
+	switch n := e.(type) {
+	case nil:
+		return true
+	case *sqlpp.Literal, *sqlpp.Ident, *sqlpp.Param:
+		return true
+	case *sqlpp.FieldAccess:
+		return safeParallelPred(n.Base)
+	case *sqlpp.IndexAccess:
+		return safeParallelPred(n.Base) && safeParallelPred(n.Index)
+	case *sqlpp.Unary:
+		return safeParallelPred(n.X)
+	case *sqlpp.Binary:
+		return safeParallelPred(n.L) && safeParallelPred(n.R)
+	case *sqlpp.CaseExpr:
+		if n.Operand != nil && !safeParallelPred(n.Operand) {
+			return false
+		}
+		for _, w := range n.Whens {
+			if !safeParallelPred(w.When) || !safeParallelPred(w.Then) {
+				return false
+			}
+		}
+		return n.Else == nil || safeParallelPred(n.Else)
+	case *sqlpp.In:
+		return safeParallelPred(n.X) && safeParallelPred(n.Coll)
+	case *sqlpp.ArrayCtor:
+		for _, el := range n.Elems {
+			if !safeParallelPred(el) {
+				return false
+			}
+		}
+		return true
+	case *sqlpp.ObjectCtor:
+		for _, f := range n.Fields {
+			if !safeParallelPred(f.Val) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// --- sargable predicate extraction ---
+
+// pickIndexRange scans the WHERE conjuncts for comparisons of
+// alias.field against a constant where field carries a secondary
+// B-tree index, and folds every such conjunct on the chosen field into
+// one [lo, hi] key range. The first indexed field found wins.
+func pickIndexRange(ctx *Context, ds *lsm.Dataset, alias string, where sqlpp.Expr) (field, idxName string, idxs []*lsm.BTreeIndex, lo, hi index.Bound, ok bool) {
+	lo, hi = index.Unbounded(), index.Unbounded()
+	for _, conj := range splitConjuncts(where) {
+		f, op, v, sok := sargable(conj, alias, ctx.Params)
+		if !sok {
+			continue
+		}
+		if field == "" {
+			name, insts := ds.BTreeIndexForField(f)
+			if name == "" {
+				continue
+			}
+			field, idxName, idxs = f, name, insts
+		} else if f != field {
+			continue
+		}
+		switch op {
+		case "=":
+			lo = tightenLo(lo, index.Include(v))
+			hi = tightenHi(hi, index.Include(v))
+		case ">":
+			lo = tightenLo(lo, index.Exclude(v))
+		case ">=":
+			lo = tightenLo(lo, index.Include(v))
+		case "<":
+			hi = tightenHi(hi, index.Exclude(v))
+		case "<=":
+			hi = tightenHi(hi, index.Include(v))
+		}
+	}
+	return field, idxName, idxs, lo, hi, field != ""
+}
+
+// sargable matches one conjunct of the shape `alias.field OP const` or
+// `const OP alias.field` (OP flipped), where const is a literal or a
+// bound parameter. Unknown-valued constants are not sargable (the
+// predicate is uniformly NULL; the full scan handles it).
+func sargable(e sqlpp.Expr, alias string, params map[string]adm.Value) (field, op string, val adm.Value, ok bool) {
+	b, isBin := e.(*sqlpp.Binary)
+	if !isBin {
+		return "", "", adm.Value{}, false
+	}
+	switch b.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return "", "", adm.Value{}, false
+	}
+	if f, fok := aliasField(b.L, alias); fok {
+		if v, vok := constOperand(b.R, params); vok && !v.IsUnknown() {
+			return f, b.Op, v, true
+		}
+		return "", "", adm.Value{}, false
+	}
+	if f, fok := aliasField(b.R, alias); fok {
+		if v, vok := constOperand(b.L, params); vok && !v.IsUnknown() {
+			return f, flipOp(b.Op), v, true
+		}
+	}
+	return "", "", adm.Value{}, false
+}
+
+func aliasField(e sqlpp.Expr, alias string) (string, bool) {
+	fa, ok := e.(*sqlpp.FieldAccess)
+	if !ok {
+		return "", false
+	}
+	base, ok := fa.Base.(*sqlpp.Ident)
+	if !ok || base.Name != alias {
+		return "", false
+	}
+	return fa.Field, true
+}
+
+func constOperand(e sqlpp.Expr, params map[string]adm.Value) (adm.Value, bool) {
+	switch n := e.(type) {
+	case *sqlpp.Literal:
+		return n.Val, true
+	case *sqlpp.Param:
+		v, ok := params[n.Name]
+		return v, ok
+	}
+	return adm.Value{}, false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// tightenLo keeps the more restrictive (greater, or exclusive on a
+// tie) of two lower bounds.
+func tightenLo(a, b index.Bound) index.Bound {
+	if a.Unbounded() {
+		return b
+	}
+	if b.Unbounded() {
+		return a
+	}
+	ak, _ := a.Key()
+	bk, _ := b.Key()
+	switch c := adm.Compare(bk, ak); {
+	case c > 0:
+		return b
+	case c < 0:
+		return a
+	case !b.Inclusive():
+		return b
+	}
+	return a
+}
+
+// tightenHi keeps the more restrictive (smaller, or exclusive on a
+// tie) of two upper bounds.
+func tightenHi(a, b index.Bound) index.Bound {
+	if a.Unbounded() {
+		return b
+	}
+	if b.Unbounded() {
+		return a
+	}
+	ak, _ := a.Key()
+	bk, _ := b.Key()
+	switch c := adm.Compare(bk, ak); {
+	case c < 0:
+		return b
+	case c > 0:
+		return a
+	case !b.Inclusive():
+		return b
+	}
+	return a
+}

@@ -2,6 +2,8 @@ package query
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"github.com/ideadb/idea/internal/adm"
 	"github.com/ideadb/idea/internal/lsm"
@@ -10,159 +12,640 @@ import (
 
 // RowCursor is the pull-based (Volcano) face of a SELECT: each Next
 // call produces one result row, drawing records from the underlying
-// dataset scan cursors on demand. For pipeline-able query blocks —
-// scan → filter → UDF-apply → project → limit, i.e. no GROUP BY,
-// aggregates, ORDER BY, or DISTINCT — nothing is materialized: a
-// consumer that stops after k rows touches O(k) records and allocates
-// O(k), independent of dataset size. Blocking constructs fall back to
-// the eager executor and the cursor streams its buffered result.
+// dataset scan cursors on demand. Every query shape streams:
+//
+//   - scan → filter → project pipelines materialize nothing — a
+//     consumer that stops after k rows touches O(k) records;
+//   - GROUP BY / aggregates fold tuples into per-group accumulators as
+//     they flow past (O(groups) memory, never O(tuples));
+//   - ORDER BY + LIMIT k keeps a bounded top-k heap (O(k) memory,
+//     O(n log k) time); without LIMIT it degenerates to a full sort;
+//   - DISTINCT dedupes projected rows through a hash set as they are
+//     emitted.
+//
+// The plan — including index pushdown and parallel partition scans —
+// is chosen by ExecuteSelectCursor (see plan_select.go) and reported
+// by Plan. The eager executor (exec.go) remains for expression-position
+// subqueries and the enrichment probe path; top-level SELECTs never
+// fall back to it.
 type RowCursor struct {
-	st  evalState
-	sel *sqlpp.SelectExpr
-
-	// Streaming pipeline (nil when running from the eager buffer).
-	tuples tupleCursor
-
-	// Eager fallback buffer.
-	buf []adm.Value
-	pos int
+	st   evalState
+	sel  *sqlpp.SelectExpr
+	rows rowSrc
+	plan string
 
 	limit int64 // rows still to emit; -1 = unlimited
+	dedup *valueDedup
 	done  bool
 }
 
-// ExecuteSelectCursor prepares a pull cursor for a query block. Leading
-// LETs and the LIMIT expression are evaluated eagerly (they are bound
-// once per query); everything downstream is pulled lazily.
-func ExecuteSelectCursor(ctx *Context, env *Env, sel *sqlpp.SelectExpr) (*RowCursor, error) {
-	st := evalState{ctx: ctx}
-	rc := &RowCursor{st: st, sel: sel, limit: -1}
-
-	if !streamable(sel) {
-		v, err := executeSelect(st, env, sel)
-		if err != nil {
-			return nil, err
-		}
-		rc.buf = v.ArrayVal()
-		return rc, nil
-	}
-
-	st, err := st.deeper()
-	if err != nil {
-		return nil, err
-	}
-	rc.st = st
-	for _, l := range sel.Lets {
-		v, err := eval(st, env, l.Expr)
-		if err != nil {
-			return nil, err
-		}
-		env = Bind(env, l.Name, v)
-	}
-	if sel.Limit != nil {
-		lv, err := eval(st, nil, sel.Limit)
-		if err != nil {
-			return nil, err
-		}
-		n, ok := lv.AsInt()
-		if !ok || n < 0 {
-			return nil, fmt.Errorf("query: LIMIT must be a non-negative integer")
-		}
-		rc.limit = n
-	}
-
-	// Pin the snapshots of every dataset named in FROM position now,
-	// before returning the cursor: the caller's consistency contract is
-	// "the data as of the Query call", not "as of the first Next".
-	// (Datasets touched only inside subqueries or UDFs pin on first
-	// access, per the Context rule.)
-	scope := env
-	for _, fc := range sel.From {
-		if id, isIdent := fc.Source.(*sqlpp.Ident); isIdent {
-			if _, bound := scope.Lookup(id.Name); !bound && ctx.Catalog != nil {
-				if _, isDS := ctx.Catalog.Dataset(id.Name); isDS {
-					if _, err := ctx.Pin(id.Name); err != nil {
-						return nil, err
-					}
-				}
-			}
-		}
-		// Later FROM clauses may reference this alias; approximate the
-		// scope by binding it to MISSING (only presence matters here).
-		scope = Bind(scope, fc.Alias, adm.Missing())
-	}
-
-	// Build the tuple pipeline: FROM fan-out (streaming nested loops),
-	// per-tuple LETs, then the WHERE filter.
-	var cur tupleCursor = &singleCursor{env: env}
-	for _, fc := range sel.From {
-		cur = &fromCursor{st: st, outer: cur, src: fc.Source, alias: fc.Alias}
-	}
-	if len(sel.FromLets) > 0 {
-		cur = &letCursor{st: st, inner: cur, lets: sel.FromLets}
-	}
-	if sel.Where != nil {
-		cur = &filterCursor{st: st, inner: cur, pred: sel.Where}
-	}
-	rc.tuples = cur
-	return rc, nil
-}
-
-// streamable reports whether the block pipelines row by row. Blocking
-// constructs (grouping, aggregation, ordering, dedup) need the whole
-// input before the first output row, so they take the eager path.
-func streamable(sel *sqlpp.SelectExpr) bool {
-	return len(sel.GroupBy) == 0 && len(sel.OrderBy) == 0 &&
-		!sel.Distinct && !selectHasAggregate(sel)
-}
-
 // Next returns the next result row. After ok=false (exhaustion or
-// error) the cursor stays exhausted.
+// error) the cursor stays exhausted; the operator pipeline — including
+// any parallel scan workers — is torn down at that point.
 func (rc *RowCursor) Next() (adm.Value, bool, error) {
-	if rc.done || rc.limit == 0 {
-		rc.done = true
-		return adm.Value{}, false, nil
-	}
-	if rc.tuples == nil {
-		if rc.pos >= len(rc.buf) {
-			rc.done = true
+	for {
+		if rc.done || rc.limit == 0 {
+			rc.Close()
 			return adm.Value{}, false, nil
 		}
-		v := rc.buf[rc.pos]
-		rc.pos++
+		if err := rc.st.ctx.Err(); err != nil {
+			rc.Close()
+			return adm.Value{}, false, err
+		}
+		r, ok, err := rc.rows.next()
+		if err != nil || !ok {
+			rc.Close()
+			return adm.Value{}, false, err
+		}
+		v, err := projectRow(rc.rowState(r), r.env, rc.sel)
+		if err != nil {
+			rc.Close()
+			return adm.Value{}, false, err
+		}
+		if rc.dedup != nil && !rc.dedup.add(v) {
+			continue
+		}
+		if rc.limit > 0 {
+			rc.limit--
+		}
 		return v, true, nil
 	}
-	tu, ok, err := rc.tuples.next()
-	if err != nil || !ok {
-		rc.done = true
-		return adm.Value{}, false, err
-	}
-	v, err := projectRow(rc.st.noGroup(), tu, rc.sel)
-	if err != nil {
-		rc.done = true
-		return adm.Value{}, false, err
-	}
-	if rc.limit > 0 {
-		rc.limit--
-	}
-	return v, true, nil
 }
 
-// Close releases the cursor. Scans hold no locks — snapshots are
-// dropped with the cursor — so Close only marks the cursor exhausted;
-// it exists so callers can abandon a stream at any point.
+func (rc *RowCursor) rowState(r rowT) evalState {
+	if r.grouped {
+		return rc.st.withAggVals(r.agg)
+	}
+	return rc.st.noGroup()
+}
+
+// Close tears the cursor down: scan workers are stopped and joined, so
+// an abandoned stream leaks no goroutines. Idempotent.
 func (rc *RowCursor) Close() {
+	if rc.done {
+		return
+	}
 	rc.done = true
-	rc.tuples = nil
-	rc.buf = nil
+	if rc.rows != nil {
+		rc.rows.close()
+	}
+}
+
+// Plan describes the operator pipeline this cursor executes, e.g.
+// "iscan(Events.by_grp on grp)→filter→project→limit(4)". Tests assert
+// planner decisions (index use, parallelism) against it rather than
+// inferring them from timing.
+func (rc *RowCursor) Plan() string { return rc.plan }
+
+// --- row operators (post-FROM exchange) ---
+
+// rowT is one output row candidate: its binding environment plus, for
+// grouped rows, the pre-accumulated aggregate values keyed by the
+// aggregate call sites they answer.
+type rowT struct {
+	env     *Env
+	agg     map[*sqlpp.Call]adm.Value
+	grouped bool
+}
+
+// rowSrc yields row candidates to the projection stage.
+type rowSrc interface {
+	next() (rowT, bool, error)
+	close()
+}
+
+// tupleRows adapts the tuple pipeline to the row exchange for
+// ungrouped queries.
+type tupleRows struct{ inner tupleCursor }
+
+func (t *tupleRows) next() (rowT, bool, error) {
+	tu, ok, err := t.inner.next()
+	if err != nil || !ok {
+		return rowT{}, false, err
+	}
+	return rowT{env: tu}, true, nil
+}
+
+func (t *tupleRows) close() { t.inner.close() }
+
+// --- streaming hash aggregation ---
+
+// aggAcc incrementally folds one aggregate call, replicating
+// aggregateOver's semantics (count skips unknowns, sum/avg go NULL on
+// a non-numeric, integer-only sums stay integer, avg is always double,
+// min/max use adm.Compare).
+type aggAcc struct {
+	name string // lowercased
+	star bool
+	arg  sqlpp.Expr
+
+	count   int64
+	sum     float64
+	allInt  bool
+	n       int
+	sumNull bool
+	best    adm.Value
+	has     bool
+}
+
+func newAggAcc(call *sqlpp.Call) (*aggAcc, error) {
+	name := strings.ToLower(call.Name)
+	if call.Star {
+		if name != "count" {
+			return nil, fmt.Errorf("query: %s(*) is not a valid aggregate", call.Name)
+		}
+		return &aggAcc{name: name, star: true}, nil
+	}
+	if len(call.Args) != 1 {
+		return nil, fmt.Errorf("query: aggregate %s expects 1 argument", call.Name)
+	}
+	return &aggAcc{name: name, allInt: true, arg: call.Args[0]}, nil
+}
+
+func (a *aggAcc) add(st evalState, tu *Env) error {
+	if a.star {
+		a.count++
+		return nil
+	}
+	v, err := eval(st, tu, a.arg)
+	if err != nil {
+		return err
+	}
+	if v.IsUnknown() {
+		return nil
+	}
+	switch a.name {
+	case "count":
+		a.count++
+	case "sum", "avg":
+		if a.sumNull {
+			return nil
+		}
+		f, ok := v.AsDouble()
+		if !ok {
+			a.sumNull = true
+			return nil
+		}
+		if v.Kind() != adm.KindInt64 {
+			a.allInt = false
+		}
+		a.sum += f
+		a.n++
+	case "min", "max":
+		if !a.has {
+			a.best, a.has = v, true
+			return nil
+		}
+		c := adm.Compare(v, a.best)
+		if (a.name == "min" && c < 0) || (a.name == "max" && c > 0) {
+			a.best = v
+		}
+	}
+	return nil
+}
+
+func (a *aggAcc) final() (adm.Value, error) {
+	switch a.name {
+	case "count":
+		return adm.Int(a.count), nil
+	case "sum":
+		if a.sumNull || a.n == 0 {
+			return adm.Null(), nil
+		}
+		if a.allInt {
+			return adm.Int(int64(a.sum)), nil
+		}
+		return adm.Double(a.sum), nil
+	case "avg":
+		if a.sumNull || a.n == 0 {
+			return adm.Null(), nil
+		}
+		return adm.Double(a.sum / float64(a.n)), nil
+	case "min", "max":
+		if !a.has {
+			return adm.Null(), nil
+		}
+		return a.best, nil
+	}
+	return adm.Value{}, fmt.Errorf("query: unknown aggregate %q", a.name)
+}
+
+type aggGroup struct {
+	rep  *Env
+	kv   []adm.Value
+	accs []*aggAcc
+}
+
+// aggRows is the streaming hash aggregate: tuples fold into per-group
+// accumulators as they arrive (first-seen group order, matching the
+// eager executor), and only the group table — representative env, key
+// values, accumulators — is retained. Raw tuples are never buffered.
+type aggRows struct {
+	st    evalState
+	inner tupleCursor
+	keys  []sqlpp.GroupKey
+	calls []*sqlpp.Call
+	// copyRep is set when the scan leaf recycles one binding box per
+	// record (env-reuse mode): the representative tuple of each new
+	// group must then be copied out of the box before it is retained.
+	copyRep bool
+
+	built bool
+	out   []rowT
+	pos   int
+}
+
+func (a *aggRows) next() (rowT, bool, error) {
+	if !a.built {
+		a.built = true
+		if err := a.build(); err != nil {
+			return rowT{}, false, err
+		}
+	}
+	if a.pos >= len(a.out) {
+		return rowT{}, false, nil
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, true, nil
+}
+
+func (a *aggRows) close() { a.inner.close() }
+
+func (a *aggRows) build() error {
+	var groups []*aggGroup
+	hidx := make(map[uint64][]int)
+	kv := make([]adm.Value, len(a.keys))
+	inner := a.st.noGroup() // aggregate args evaluate outside the group context
+	for {
+		if err := a.st.ctx.Err(); err != nil {
+			return err
+		}
+		tu, ok, err := a.inner.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		var g *aggGroup
+		if len(a.keys) == 0 {
+			if len(groups) == 0 {
+				ng, err := a.newGroup(tu, nil)
+				if err != nil {
+					return err
+				}
+				groups = append(groups, ng)
+			}
+			g = groups[0]
+		} else {
+			for i, k := range a.keys {
+				v, err := eval(a.st, tu, k.Expr)
+				if err != nil {
+					return err
+				}
+				kv[i] = v
+			}
+			h := adm.Hash(adm.Array(kv))
+			found := -1
+			for _, gi := range hidx[h] {
+				if sameKeys(groups[gi].kv, kv) {
+					found = gi
+					break
+				}
+			}
+			if found < 0 {
+				ng, err := a.newGroup(tu, kv)
+				if err != nil {
+					return err
+				}
+				groups = append(groups, ng)
+				found = len(groups) - 1
+				hidx[h] = append(hidx[h], found)
+			}
+			g = groups[found]
+		}
+		for _, acc := range g.accs {
+			if err := acc.add(inner, tu); err != nil {
+				return err
+			}
+		}
+	}
+	a.inner.close()
+	// An aggregate query without GROUP BY has exactly one group, even
+	// over empty input (COUNT(*) of nothing is 0, not no-rows).
+	if len(a.keys) == 0 && len(groups) == 0 {
+		ng, err := a.newGroup(nil, nil)
+		if err != nil {
+			return err
+		}
+		groups = append(groups, ng)
+	}
+	a.out = make([]rowT, 0, len(groups))
+	for _, g := range groups {
+		vals := make(map[*sqlpp.Call]adm.Value, len(a.calls))
+		for i, call := range a.calls {
+			v, err := g.accs[i].final()
+			if err != nil {
+				return err
+			}
+			vals[call] = v
+		}
+		a.out = append(a.out, rowT{env: g.rep, agg: vals, grouped: true})
+	}
+	return nil
+}
+
+func (a *aggRows) newGroup(tu *Env, kv []adm.Value) (*aggGroup, error) {
+	if a.copyRep && tu != nil {
+		// tu is the scan leaf's reused box (a single Env node over the
+		// stable base chain); snapshot it before retaining.
+		cp := *tu
+		tu = &cp
+	}
+	g := &aggGroup{rep: tu}
+	if kv != nil {
+		g.kv = append([]adm.Value(nil), kv...)
+		for i, k := range a.keys {
+			if k.Alias != "" {
+				g.rep = Bind(g.rep, k.Alias, g.kv[i])
+			}
+		}
+	}
+	g.accs = make([]*aggAcc, len(a.calls))
+	for i, call := range a.calls {
+		acc, err := newAggAcc(call)
+		if err != nil {
+			return nil, err
+		}
+		g.accs[i] = acc
+	}
+	return g, nil
+}
+
+// collectSelectAggs gathers the aggregate call sites a grouped query
+// evaluates — SELECT list/value and ORDER BY keys (the clauses that run
+// under the group context). Calls nested inside another aggregate's
+// argument are excluded: they evaluate as scalar collection functions
+// during accumulation, exactly as in the eager executor.
+func collectSelectAggs(sel *sqlpp.SelectExpr) []*sqlpp.Call {
+	var out []*sqlpp.Call
+	collectAggCalls(sel.SelectValue, &out)
+	for _, p := range sel.Projections {
+		collectAggCalls(p.Expr, &out)
+	}
+	for _, ob := range sel.OrderBy {
+		collectAggCalls(ob.Expr, &out)
+	}
+	return out
+}
+
+func collectAggCalls(e sqlpp.Expr, out *[]*sqlpp.Call) {
+	switch n := e.(type) {
+	case *sqlpp.Call:
+		if n.Ns == "" && IsAggregate(strings.ToLower(n.Name)) {
+			*out = append(*out, n)
+			return
+		}
+		for _, a := range n.Args {
+			collectAggCalls(a, out)
+		}
+	case *sqlpp.FieldAccess:
+		collectAggCalls(n.Base, out)
+	case *sqlpp.IndexAccess:
+		collectAggCalls(n.Base, out)
+		collectAggCalls(n.Index, out)
+	case *sqlpp.Unary:
+		collectAggCalls(n.X, out)
+	case *sqlpp.Binary:
+		collectAggCalls(n.L, out)
+		collectAggCalls(n.R, out)
+	case *sqlpp.CaseExpr:
+		collectAggCalls(n.Operand, out)
+		for _, w := range n.Whens {
+			collectAggCalls(w.When, out)
+			collectAggCalls(w.Then, out)
+		}
+		collectAggCalls(n.Else, out)
+	case *sqlpp.In:
+		collectAggCalls(n.X, out)
+		collectAggCalls(n.Coll, out)
+	case *sqlpp.ArrayCtor:
+		for _, el := range n.Elems {
+			collectAggCalls(el, out)
+		}
+	case *sqlpp.ObjectCtor:
+		for _, f := range n.Fields {
+			collectAggCalls(f.Val, out)
+		}
+	}
+}
+
+// --- bounded top-k ordering ---
+
+type topkEntry struct {
+	row    rowT
+	keys   []adm.Value
+	seq    int
+	envBox Env // copyEnv mode: stable home for a reused scan env
+}
+
+// topkRows implements ORDER BY [+ LIMIT k] as a bounded selection: a
+// size-k max-heap keeps the k best rows seen (worst at the root), so a
+// LIMIT-k sort costs O(n log k) time and O(k) memory. With k < 0 (no
+// LIMIT, or DISTINCT under the limit) every row is retained and sorted
+// — the graceful degeneration to a full sort. Ties preserve arrival
+// order, matching the eager executor's stable sort.
+type topkRows struct {
+	st      evalState
+	inner   rowSrc
+	orderBy []sqlpp.OrderKey
+	k       int64 // -1 = retain everything
+	copyEnv bool  // input env is a reused box; copy on acceptance
+
+	built   bool
+	heap    []*topkEntry
+	out     []*topkEntry
+	pos     int
+	scratch []adm.Value
+	seq     int
+}
+
+func (t *topkRows) next() (rowT, bool, error) {
+	if !t.built {
+		t.built = true
+		if err := t.build(); err != nil {
+			return rowT{}, false, err
+		}
+	}
+	if t.pos >= len(t.out) {
+		return rowT{}, false, nil
+	}
+	r := t.out[t.pos].row
+	t.pos++
+	return r, true, nil
+}
+
+func (t *topkRows) close() { t.inner.close() }
+
+func (t *topkRows) build() error {
+	t.scratch = make([]adm.Value, len(t.orderBy))
+	for {
+		if err := t.st.ctx.Err(); err != nil {
+			return err
+		}
+		r, ok, err := t.inner.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		st := t.st.noGroup()
+		if r.grouped {
+			st = t.st.withAggVals(r.agg)
+		}
+		for j, ob := range t.orderBy {
+			v, err := eval(st, r.env, ob.Expr)
+			if err != nil {
+				return err
+			}
+			t.scratch[j] = v
+		}
+		t.offer(r)
+	}
+	t.inner.close()
+	sort.Slice(t.heap, func(i, j int) bool { return t.before(t.heap[i], t.heap[j]) })
+	t.out = t.heap
+	return nil
+}
+
+// offer considers one row whose order keys sit in t.scratch. The
+// bounded path is allocation-free once the heap is full: a winning
+// candidate swaps its key slice with the evicted root's and overwrites
+// it in place.
+func (t *topkRows) offer(r rowT) {
+	seq := t.seq
+	t.seq++
+	if t.k == 0 {
+		return
+	}
+	if t.k < 0 || int64(len(t.heap)) < t.k {
+		e := &topkEntry{keys: append([]adm.Value(nil), t.scratch...), seq: seq}
+		t.take(e, r)
+		t.heap = append(t.heap, e)
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	root := t.heap[0]
+	// The candidate arrived after everything in the heap, so on equal
+	// keys it is the worse row (stability): strict improvement only.
+	if t.compareKeys(t.scratch, root.keys) >= 0 {
+		return
+	}
+	root.keys, t.scratch = t.scratch, root.keys
+	root.seq = seq
+	t.take(root, r)
+	t.siftDown(0)
+}
+
+func (t *topkRows) take(e *topkEntry, r rowT) {
+	e.row = r
+	if t.copyEnv && r.env != nil {
+		e.envBox = *r.env
+		e.row.env = &e.envBox
+	}
+}
+
+func (t *topkRows) compareKeys(a, b []adm.Value) int {
+	for j, ob := range t.orderBy {
+		c := adm.Compare(a[j], b[j])
+		if c != 0 {
+			if ob.Desc {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// before is the output order: keys ascending per the ORDER BY spec,
+// ties by arrival.
+func (t *topkRows) before(a, b *topkEntry) bool {
+	if c := t.compareKeys(a.keys, b.keys); c != 0 {
+		return c < 0
+	}
+	return a.seq < b.seq
+}
+
+// worse is the heap order (max-heap on badness).
+func (t *topkRows) worse(a, b *topkEntry) bool {
+	if c := t.compareKeys(a.keys, b.keys); c != 0 {
+		return c > 0
+	}
+	return a.seq > b.seq
+}
+
+func (t *topkRows) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.worse(t.heap[i], t.heap[p]) {
+			return
+		}
+		t.heap[i], t.heap[p] = t.heap[p], t.heap[i]
+		i = p
+	}
+}
+
+func (t *topkRows) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		w := i
+		if l < len(t.heap) && t.worse(t.heap[l], t.heap[w]) {
+			w = l
+		}
+		if r < len(t.heap) && t.worse(t.heap[r], t.heap[w]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		t.heap[i], t.heap[w] = t.heap[w], t.heap[i]
+		i = w
+	}
+}
+
+// --- streaming DISTINCT ---
+
+// valueDedup is the projected-row hash set behind SELECT DISTINCT.
+type valueDedup struct{ seen map[uint64][]adm.Value }
+
+func newValueDedup() *valueDedup {
+	return &valueDedup{seen: make(map[uint64][]adm.Value)}
+}
+
+// add reports whether v is new, recording it if so.
+func (d *valueDedup) add(v adm.Value) bool {
+	h := adm.Hash(v)
+	for _, prev := range d.seen[h] {
+		if adm.Equal(prev, v) {
+			return false
+		}
+	}
+	d.seen[h] = append(d.seen[h], v)
+	return true
 }
 
 // --- tuple operators ---
 
 // tupleCursor is the operator contract: each next call yields one
-// binding environment (a row of the FROM product).
+// binding environment (a row of the FROM product). close releases
+// whatever the pipeline holds (parallel scan workers in particular)
+// and must be idempotent.
 type tupleCursor interface {
 	next() (*Env, bool, error)
+	close()
 }
 
 // singleCursor yields the base environment exactly once — the seed of
@@ -179,6 +662,41 @@ func (s *singleCursor) next() (*Env, bool, error) {
 	s.used = true
 	return s.env, true, nil
 }
+
+func (s *singleCursor) close() {}
+
+// scanFromCursor is the planned leaf: it binds the first FROM clause's
+// alias over a pre-built record stream (serial scan, index range scan,
+// or parallel partition scan). In reuse mode it mutates one env box in
+// place per record instead of allocating a binding — valid only when
+// the planner proved no downstream operator retains the env without
+// copying it (the top-k heap copies on acceptance).
+type scanFromCursor struct {
+	base  *Env
+	alias string
+	leaf  collCursor
+	reuse bool
+	box   Env
+	init  bool
+}
+
+func (s *scanFromCursor) next() (*Env, bool, error) {
+	rec, ok, err := s.leaf.next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if s.reuse {
+		if !s.init {
+			s.box = Env{parent: s.base, name: s.alias}
+			s.init = true
+		}
+		s.box.val = rec
+		return &s.box, true, nil
+	}
+	return Bind(s.base, s.alias, rec), true, nil
+}
+
+func (s *scanFromCursor) close() { s.leaf.close() }
 
 // fromCursor streams one FROM clause: for every outer tuple it opens a
 // collection cursor over the source and yields one extended tuple per
@@ -207,11 +725,24 @@ func (f *fromCursor) next() (*Env, bool, error) {
 			f.cur = cc
 			f.curEnv = oe
 		}
-		if rec, ok := f.cur.next(); ok {
+		rec, ok, err := f.cur.next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
 			return Bind(f.curEnv, f.alias, rec), true, nil
 		}
+		f.cur.close()
 		f.cur = nil
 	}
+}
+
+func (f *fromCursor) close() {
+	if f.cur != nil {
+		f.cur.close()
+		f.cur = nil
+	}
+	f.outer.close()
 }
 
 // letCursor binds FROM-position LETs on each tuple as it flows past.
@@ -236,7 +767,11 @@ func (l *letCursor) next() (*Env, bool, error) {
 	return tu, true, nil
 }
 
-// filterCursor drops tuples whose predicate is not TRUE.
+func (l *letCursor) close() { l.inner.close() }
+
+// filterCursor drops tuples whose predicate is not TRUE. It polls for
+// cancellation per candidate so a filter that rejects a long stretch
+// still notices a dead context.
 type filterCursor struct {
 	st    evalState
 	inner tupleCursor
@@ -245,6 +780,9 @@ type filterCursor struct {
 
 func (f *filterCursor) next() (*Env, bool, error) {
 	for {
+		if err := f.st.ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		tu, ok, err := f.inner.next()
 		if err != nil || !ok {
 			return nil, false, err
@@ -259,11 +797,14 @@ func (f *filterCursor) next() (*Env, bool, error) {
 	}
 }
 
+func (f *filterCursor) close() { f.inner.close() }
+
 // --- collection cursors (FROM sources) ---
 
 // collCursor streams the records of one FROM source instance.
 type collCursor interface {
-	next() (adm.Value, bool)
+	next() (adm.Value, bool, error)
+	close()
 }
 
 type sliceCursor struct {
@@ -271,27 +812,31 @@ type sliceCursor struct {
 	pos   int
 }
 
-func (s *sliceCursor) next() (adm.Value, bool) {
+func (s *sliceCursor) next() (adm.Value, bool, error) {
 	if s.pos >= len(s.elems) {
-		return adm.Value{}, false
+		return adm.Value{}, false, nil
 	}
 	v := s.elems[s.pos]
 	s.pos++
-	return v, true
+	return v, true, nil
 }
+
+func (s *sliceCursor) close() {}
 
 type singleValueCursor struct {
 	v    adm.Value
 	used bool
 }
 
-func (s *singleValueCursor) next() (adm.Value, bool) {
+func (s *singleValueCursor) next() (adm.Value, bool, error) {
 	if s.used {
-		return adm.Value{}, false
+		return adm.Value{}, false, nil
 	}
 	s.used = true
-	return s.v, true
+	return s.v, true, nil
 }
+
+func (s *singleValueCursor) close() {}
 
 // datasetCursor adapts an LSM scan cursor (which walks the pinned
 // snapshots' memtable trees and sorted runs in place) to a collection
@@ -300,10 +845,37 @@ type datasetCursor struct {
 	sc *lsm.ScanCursor
 }
 
-func (d *datasetCursor) next() (adm.Value, bool) {
+func (d *datasetCursor) next() (adm.Value, bool, error) {
 	_, rec, ok := d.sc.Next()
-	return rec, ok
+	return rec, ok, nil
 }
+
+func (d *datasetCursor) close() {}
+
+// indexScanColl adapts a secondary-index range scan.
+type indexScanColl struct {
+	sc *lsm.IndexScanCursor
+}
+
+func (c *indexScanColl) next() (adm.Value, bool, error) {
+	_, rec, ok := c.sc.Next()
+	return rec, ok, nil
+}
+
+func (c *indexScanColl) close() {}
+
+// parallelColl adapts a parallel partition scan; close stops and joins
+// the workers.
+type parallelColl struct {
+	pc *lsm.ParallelScanCursor
+}
+
+func (c *parallelColl) next() (adm.Value, bool, error) {
+	_, rec, ok, err := c.pc.Next()
+	return rec, ok, err
+}
+
+func (c *parallelColl) close() { c.pc.Close() }
 
 // openFromSource resolves one FROM source into a streaming cursor: an
 // in-scope binding, a dataset scan over the pinned snapshots, or any

@@ -71,7 +71,7 @@ func TestCursorMatchesEagerExecutor(t *testing.T) {
 		`LET cutoff = 40 SELECT VALUE e.id FROM Events e WHERE e.score > cutoff`,
 		`SELECT VALUE x FROM [1, 2, 3] x`,
 		`SELECT VALUE e.id FROM Events e WHERE e.id IN [1, 5, 250]`,
-		// Blocking shapes (eager fallback inside the cursor).
+		// Blocking shapes (streamed: top-k heap, hash aggregate, dedupe).
 		`SELECT VALUE e.id FROM Events e ORDER BY e.id DESC LIMIT 5`,
 		`SELECT e.grp AS g, count(*) AS n FROM Events e GROUP BY e.grp ORDER BY e.grp`,
 		`SELECT DISTINCT e.grp FROM Events e ORDER BY e.grp`,

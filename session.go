@@ -120,23 +120,14 @@ func (c *Cluster) MustExecute(script string, args ...any) Results {
 	return results
 }
 
-// ExecuteScript is the pre-cursor-API Execute: no context, no
-// parameters, feed handles only.
-//
-// Deprecated: use Execute, which reports per-statement Results and
-// locates failures; ExecuteScript will be removed next release.
-func (c *Cluster) ExecuteScript(script string) ([]*Feed, error) {
-	results, err := c.Execute(context.Background(), script)
-	return results.Feeds(), err
-}
-
 // queryContext builds a fresh evaluation context carrying the bound
-// parameters. Each statement gets its own context so snapshot pinning
-// never lets one statement observe pre-script data after an earlier
-// statement wrote (the old per-statement NewContext behaviour).
-func (c *Cluster) queryContext(params map[string]adm.Value) *query.Context {
+// parameters and the caller's cancellation context. Each statement gets
+// its own context so snapshot pinning never lets one statement observe
+// pre-script data after an earlier statement wrote.
+func (c *Cluster) queryContext(ctx context.Context, params map[string]adm.Value) *query.Context {
 	qctx := query.NewContext(c.inner)
 	qctx.Params = params
+	qctx.Std = ctx
 	return qctx
 }
 
@@ -181,7 +172,7 @@ func (c *Cluster) executeStmt(ctx context.Context, stmt sqlpp.Statement, params 
 		if s.Upsert {
 			kind = "UPSERT"
 		}
-		n, err := c.executeInsert(s, params)
+		n, err := c.executeInsert(ctx, s, params)
 		return Result{Kind: kind, RowsAffected: n}, err
 	case *sqlpp.Query:
 		return Result{}, fmt.Errorf("idea: use Query for SELECT statements")
@@ -191,7 +182,7 @@ func (c *Cluster) executeStmt(ctx context.Context, stmt sqlpp.Statement, params 
 
 // executeInsert evaluates the source expression (a literal array or a
 // query) and inserts/upserts each record, returning the record count.
-func (c *Cluster) executeInsert(ins *sqlpp.Insert, params map[string]adm.Value) (int, error) {
+func (c *Cluster) executeInsert(ctx context.Context, ins *sqlpp.Insert, params map[string]adm.Value) (int, error) {
 	ds, ok := c.inner.Dataset(ins.Dataset)
 	if !ok {
 		return 0, fmt.Errorf("%w %q", ErrUnknownDataset, ins.Dataset)
@@ -200,7 +191,7 @@ func (c *Cluster) executeInsert(ins *sqlpp.Insert, params map[string]adm.Value) 
 	if v, err := sqlpp.ConstEval(ins.Source); err == nil {
 		src = v
 	} else {
-		v, err := query.Eval(c.queryContext(params), nil, ins.Source)
+		v, err := query.Eval(c.queryContext(ctx, params), nil, ins.Source)
 		if err != nil {
 			return 0, err
 		}
@@ -255,24 +246,11 @@ func (c *Cluster) Query(ctx context.Context, q string, args ...any) (*Rows, erro
 	if err != nil {
 		return nil, err
 	}
-	cur, err := query.ExecuteSelectCursor(c.queryContext(params), nil, qs.Sel)
+	cur, err := query.ExecuteSelectCursor(c.queryContext(ctx, params), nil, qs.Sel)
 	if err != nil {
 		return nil, err
 	}
 	return &Rows{ctx: ctx, cur: cur}, nil
-}
-
-// QueryAll is the pre-cursor-API Query: it materializes the whole
-// result.
-//
-// Deprecated: use Query, which streams results and accepts a context
-// and parameters; QueryAll will be removed next release.
-func (c *Cluster) QueryAll(q string) ([]Value, error) {
-	rows, err := c.Query(context.Background(), q)
-	if err != nil {
-		return nil, err
-	}
-	return rows.Collect()
 }
 
 // bindArgs converts the caller's arguments into the engine's parameter

@@ -252,12 +252,12 @@ func TestRowsEarlyCloseAndReuse(t *testing.T) {
 	}
 }
 
-// TestDeprecatedShims keeps the one-release compatibility surface
-// honest: the old eager entry points still work on top of the new
-// engine.
-func TestDeprecatedShims(t *testing.T) {
+// TestExecuteThenCollect covers the paths the removed ExecuteScript and
+// QueryAll shims used to exercise: a setup script through Execute (no
+// feeds started) and a materialized result through Rows.Collect.
+func TestExecuteThenCollect(t *testing.T) {
 	c := newTestCluster(t)
-	feeds, err := c.ExecuteScript(`
+	results, err := c.Execute(context.Background(), `
 		CREATE TYPE T AS OPEN { id: int64 };
 		CREATE DATASET D(T) PRIMARY KEY id;
 		UPSERT INTO D ([{"id": 1}, {"id": 2}]);
@@ -265,15 +265,70 @@ func TestDeprecatedShims(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(feeds) != 0 {
+	if feeds := results.Feeds(); len(feeds) != 0 {
 		t.Fatalf("feeds = %d", len(feeds))
 	}
-	vals, err := c.QueryAll(`SELECT VALUE d.id FROM D d ORDER BY d.id`)
+	rows, err := c.Query(context.Background(), `SELECT VALUE d.id FROM D d ORDER BY d.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := rows.Collect()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(vals) != 2 || vals[0].Int() != 1 {
-		t.Fatalf("QueryAll = %v", vals)
+		t.Fatalf("Collect = %v", vals)
+	}
+}
+
+// TestRowsCloseMidParallelScan abandons streams partway through every
+// parallel plan shape, repeatedly: the scan workers behind the cursor
+// must stop and join on Close, leaking no goroutines and (under
+// -race) no unsynchronized accesses. The cluster must stay fully
+// usable afterwards.
+func TestRowsCloseMidParallelScan(t *testing.T) {
+	c := newTestCluster(t)
+	c.MustExecute(`
+		CREATE TYPE T AS OPEN { id: int64 };
+		CREATE DATASET D(T) PRIMARY KEY id;
+	`)
+	const n = 8192
+	for lo := 0; lo < n; lo += 2048 {
+		var b strings.Builder
+		b.WriteString(`UPSERT INTO D ([`)
+		for i := lo; i < lo+2048; i++ {
+			if i > lo {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, `{"id": %d, "grp": %d}`, i, i%7)
+		}
+		b.WriteString(`]);`)
+		c.MustExecute(b.String())
+	}
+	for _, q := range []string{
+		`SELECT VALUE d.id FROM D d`,                       // partition-order scan
+		`SELECT VALUE d.id FROM D d ORDER BY d.id LIMIT 5`, // key-order merge
+		`SELECT VALUE count(*) FROM D d`,                   // unordered fan-in
+		`SELECT VALUE d.id FROM D d WHERE d.grp < 5`,       // pushed worker filter
+		`SELECT d.grp AS g, count(*) AS c FROM D d GROUP BY d.grp`,
+	} {
+		for iter := 0; iter < 3; iter++ {
+			rows, err := c.Query(context.Background(), q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			for i := 0; i < 2 && rows.Next(); i++ {
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			if err := rows.Close(); err != nil {
+				t.Fatalf("%s: close: %v", q, err)
+			}
+		}
+	}
+	if got := queryVals(t, c, `SELECT VALUE count(*) FROM D d`); got[0].Int() != n {
+		t.Fatalf("cluster disturbed: count = %v", got)
 	}
 }
 
