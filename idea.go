@@ -39,9 +39,14 @@ type Config struct {
 	HolderCapacity int
 	// FrameCapacity is records per frame (default 128).
 	FrameCapacity int
-	// WALGroupCommit is the simulated storage-log flush latency charged
-	// once per stored frame (default 0).
+	// WALGroupCommit is the storage-log group-commit window charged once
+	// per stored frame (default 0).
 	WALGroupCommit time.Duration
+	// DataDir, when set, makes storage durable: every dataset keeps an
+	// on-disk write-ahead log, flushed run files, and a manifest under
+	// DataDir, recovered on the next boot. Empty (the default) keeps
+	// storage in memory — the original simulation behaviour.
+	DataDir string
 }
 
 // Cluster is a running simulated deployment plus its feed manager.
@@ -70,6 +75,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		tuning.FrameCapacity = cfg.FrameCapacity
 	}
 	tuning.Storage.GroupCommit = cfg.WALGroupCommit
+	tuning.DataDir = cfg.DataDir
 	inner, err := cluster.New(cfg.Nodes, tuning)
 	if err != nil {
 		return nil, err

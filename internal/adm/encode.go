@@ -1,0 +1,242 @@
+package adm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary encoding of Values — the storage serialization used by the LSM
+// write-ahead log and on-disk run files. The format is a tagged
+// pre-order walk: one kind byte, then a kind-specific payload. Every
+// payload is self-delimiting, so a stream of concatenated values needs
+// no outer framing. Integers (and counts/lengths) use varints, doubles
+// and geometry are fixed-width little-endian, and containers carry an
+// element count followed by their children.
+//
+// BinaryVersion is stamped into every file header that carries this
+// encoding (WAL segments, run files). Any change to the byte layout —
+// a new kind, a different varint scheme, reordered payload fields —
+// must bump it; the golden-file tests under internal/lsm/testdata fail
+// loudly on accidental drift.
+const BinaryVersion = 1
+
+// AppendBinary appends the binary encoding of v to dst and returns the
+// extended slice. It never fails: every Value kind is encodable.
+func AppendBinary(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindMissing, KindNull:
+		// Tag only.
+	case KindBoolean:
+		b := byte(0)
+		if v.i != 0 {
+			b = 1
+		}
+		dst = append(dst, b)
+	case KindInt64, KindDateTime:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindDouble:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case KindDuration:
+		dst = binary.AppendVarint(dst, int64(v.aux))
+		dst = binary.AppendVarint(dst, v.i)
+	case KindPoint:
+		dst = appendGeo(dst, v.geo, 2)
+	case KindCircle:
+		dst = appendGeo(dst, v.geo, 3)
+	case KindRectangle:
+		dst = appendGeo(dst, v.geo, 4)
+	case KindArray:
+		dst = binary.AppendUvarint(dst, uint64(len(v.arr)))
+		for _, e := range v.arr {
+			dst = AppendBinary(dst, e)
+		}
+	case KindObject:
+		n := 0
+		if v.obj != nil {
+			n = v.obj.Len()
+		}
+		dst = binary.AppendUvarint(dst, uint64(n))
+		for i := 0; i < n; i++ {
+			name := v.obj.Name(i)
+			dst = binary.AppendUvarint(dst, uint64(len(name)))
+			dst = append(dst, name...)
+			dst = AppendBinary(dst, v.obj.At(i))
+		}
+	}
+	return dst
+}
+
+func appendGeo(dst []byte, geo *[4]float64, n int) []byte {
+	var zero [4]float64
+	if geo == nil {
+		geo = &zero
+	}
+	for i := 0; i < n; i++ {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(geo[i]))
+	}
+	return dst
+}
+
+// DecodeBinary decodes one value from the front of data, returning the
+// value and the number of bytes consumed. Decoded values own their
+// memory (string payloads are copied), so they are safe to retain —
+// recovery replay feeds them straight into the memtable.
+func DecodeBinary(data []byte) (Value, int, error) {
+	v, n, err := decodeBinary(data, 0)
+	if err != nil {
+		return Value{}, 0, err
+	}
+	return v, n, nil
+}
+
+// maxBinaryDepth bounds container nesting so corrupt counts cannot
+// recurse unboundedly.
+const maxBinaryDepth = 200
+
+func decodeBinary(data []byte, depth int) (Value, int, error) {
+	if depth > maxBinaryDepth {
+		return Value{}, 0, fmt.Errorf("adm: binary value nested deeper than %d", maxBinaryDepth)
+	}
+	if len(data) == 0 {
+		return Value{}, 0, fmt.Errorf("adm: truncated binary value: missing kind tag")
+	}
+	kind := Kind(data[0])
+	pos := 1
+	switch kind {
+	case KindMissing:
+		return Missing(), pos, nil
+	case KindNull:
+		return Null(), pos, nil
+	case KindBoolean:
+		if len(data) < pos+1 {
+			return Value{}, 0, errTruncated(kind)
+		}
+		return Bool(data[pos] != 0), pos + 1, nil
+	case KindInt64, KindDateTime:
+		i, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return Value{}, 0, errTruncated(kind)
+		}
+		return Value{kind: kind, i: i}, pos + n, nil
+	case KindDouble:
+		if len(data) < pos+8 {
+			return Value{}, 0, errTruncated(kind)
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+		return Double(f), pos + 8, nil
+	case KindString:
+		l, n, err := decodeLen(data[pos:], kind)
+		if err != nil {
+			return Value{}, 0, err
+		}
+		pos += n
+		if len(data) < pos+l {
+			return Value{}, 0, errTruncated(kind)
+		}
+		return String(string(data[pos : pos+l])), pos + l, nil
+	case KindDuration:
+		months, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return Value{}, 0, errTruncated(kind)
+		}
+		pos += n
+		millis, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return Value{}, 0, errTruncated(kind)
+		}
+		if months < math.MinInt32 || months > math.MaxInt32 {
+			return Value{}, 0, fmt.Errorf("adm: binary duration months %d out of range", months)
+		}
+		return Duration(int32(months), millis), pos + n, nil
+	case KindPoint, KindCircle, KindRectangle:
+		coords := 2
+		if kind == KindCircle {
+			coords = 3
+		} else if kind == KindRectangle {
+			coords = 4
+		}
+		if len(data) < pos+8*coords {
+			return Value{}, 0, errTruncated(kind)
+		}
+		var geo [4]float64
+		for i := 0; i < coords; i++ {
+			geo[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		}
+		return Value{kind: kind, geo: &geo}, pos, nil
+	case KindArray:
+		count, n, err := decodeLen(data[pos:], kind)
+		if err != nil {
+			return Value{}, 0, err
+		}
+		pos += n
+		if count == 0 {
+			return EmptyArray(), pos, nil
+		}
+		// A corrupt count could claim more elements than the buffer can
+		// possibly hold (each takes >= 1 byte); cap the allocation.
+		if count > len(data)-pos {
+			return Value{}, 0, errTruncated(kind)
+		}
+		elems := make([]Value, 0, count)
+		for i := 0; i < count; i++ {
+			e, n, err := decodeBinary(data[pos:], depth+1)
+			if err != nil {
+				return Value{}, 0, err
+			}
+			elems = append(elems, e)
+			pos += n
+		}
+		return Array(elems), pos, nil
+	case KindObject:
+		count, n, err := decodeLen(data[pos:], kind)
+		if err != nil {
+			return Value{}, 0, err
+		}
+		pos += n
+		if count > len(data)-pos {
+			return Value{}, 0, errTruncated(kind)
+		}
+		obj := NewObject(count)
+		for i := 0; i < count; i++ {
+			l, n, err := decodeLen(data[pos:], kind)
+			if err != nil {
+				return Value{}, 0, err
+			}
+			pos += n
+			if len(data) < pos+l {
+				return Value{}, 0, errTruncated(kind)
+			}
+			name := string(data[pos : pos+l])
+			pos += l
+			fv, n, err := decodeBinary(data[pos:], depth+1)
+			if err != nil {
+				return Value{}, 0, err
+			}
+			obj.Set(name, fv)
+			pos += n
+		}
+		return ObjectValue(obj), pos, nil
+	}
+	return Value{}, 0, fmt.Errorf("adm: unknown binary kind tag 0x%02x", byte(kind))
+}
+
+func decodeLen(data []byte, kind Kind) (int, int, error) {
+	u, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, errTruncated(kind)
+	}
+	if u > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("adm: binary %s length %d out of range", kind, u)
+	}
+	return int(u), n, nil
+}
+
+func errTruncated(kind Kind) error {
+	return fmt.Errorf("adm: truncated binary %s payload", kind)
+}

@@ -40,6 +40,15 @@ type Tuning struct {
 	FrameCapacity int
 	// Storage configures each LSM partition.
 	Storage lsm.Options
+	// DataDir, when set, makes every dataset durable: partitions keep
+	// an on-disk WAL, flushed run files, and a manifest under
+	// DataDir/<dataset>/pNNN, and CreateDataset recovers existing state
+	// from disk. Empty means in-memory storage (the default).
+	DataDir string
+	// StorageFS overrides the filesystem under DataDir (tests inject
+	// MemFS for crash simulation). Nil with a DataDir set means the
+	// real filesystem.
+	StorageFS lsm.FS
 }
 
 // DefaultTuning returns the documented defaults.
@@ -146,12 +155,38 @@ func (c *Cluster) CreateDataset(name, typeName, primaryKey string) (*lsm.Dataset
 			return nil, fmt.Errorf("cluster: unknown datatype %q", typeName)
 		}
 	}
-	ds, err := lsm.NewDataset(name, dt, primaryKey, len(c.nodes), c.tuning.Storage)
+	var ds *lsm.Dataset
+	var err error
+	if c.tuning.DataDir != "" {
+		fsys := c.tuning.StorageFS
+		if fsys == nil {
+			fsys = lsm.NewOSFS()
+		}
+		dir := c.tuning.DataDir + "/" + name
+		ds, err = lsm.OpenDataset(fsys, dir, name, dt, primaryKey, len(c.nodes), c.tuning.Storage)
+	} else {
+		ds, err = lsm.NewDataset(name, dt, primaryKey, len(c.nodes), c.tuning.Storage)
+	}
 	if err != nil {
 		return nil, err
 	}
 	c.datasets[name] = ds
 	return ds, nil
+}
+
+// Close shuts down every dataset's storage (durable partitions drain
+// their flushers, commit and close their WALs, and close run files).
+// The cluster must not execute statements afterwards.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var firstErr error
+	for _, ds := range c.datasets {
+		if err := ds.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Dataset implements query.Catalog.

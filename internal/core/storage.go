@@ -48,7 +48,9 @@ func newStorageWriter(part *lsm.Partition, pk string, stored *atomic.Int64) *hyr
 				}
 				keys = append(keys, key)
 			}
-			part.UpsertBatch(keys, fr.Records)
+			if err := part.UpsertBatch(keys, fr.Records); err != nil {
+				return err
+			}
 			clear(keys) // key headers were copied into the memtable
 			stored.Add(int64(len(fr.Records)))
 			hyracks.RecycleFrameSpines(fr)

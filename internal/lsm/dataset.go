@@ -49,6 +49,52 @@ func NewDataset(name string, dt *adm.Datatype, primaryKey string, numPartitions 
 	return ds, nil
 }
 
+// OpenDataset opens (or creates) a durable dataset rooted at dir: one
+// durable partition per storage node, each in its own subdirectory
+// (p000, p001, ...) with its own WAL, run files, and manifest. Reopening
+// an existing directory recovers every partition (run files + WAL
+// replay) before returning. The partition count must match the one the
+// dataset was created with; it is not stored, the caller's catalog owns
+// that.
+func OpenDataset(fsys FS, dir, name string, dt *adm.Datatype, primaryKey string, numPartitions int, opts Options) (*Dataset, error) {
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("lsm: dataset %s: need at least one partition", name)
+	}
+	if primaryKey == "" {
+		return nil, fmt.Errorf("lsm: dataset %s: primary key required", name)
+	}
+	ds := &Dataset{
+		name:       name,
+		datatype:   dt,
+		primaryKey: primaryKey,
+		partitions: make([]*Partition, numPartitions),
+		indexes:    make(map[string]indexSpec),
+	}
+	for i := range ds.partitions {
+		p, err := OpenPartition(fsys, joinPath(dir, fmt.Sprintf("p%03d", i)), opts)
+		if err != nil {
+			for _, opened := range ds.partitions[:i] {
+				opened.Close()
+			}
+			return nil, fmt.Errorf("lsm: dataset %s: %w", name, err)
+		}
+		ds.partitions[i] = p
+	}
+	return ds, nil
+}
+
+// Close shuts down every partition (flusher drained, WAL committed and
+// closed, run files closed). In-memory datasets close trivially.
+func (d *Dataset) Close() error {
+	var firstErr error
+	for _, p := range d.partitions {
+		if err := p.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Name returns the dataset name.
 func (d *Dataset) Name() string { return d.name }
 
@@ -122,8 +168,7 @@ func (d *Dataset) UpsertBatch(recs []adm.Value) error {
 			keys = append(keys, pk)
 			prepared = append(prepared, rec)
 		}
-		d.partitions[0].UpsertBatch(keys, prepared)
-		return nil
+		return d.partitions[0].UpsertBatch(keys, prepared)
 	}
 	perKeys := make([][]adm.Value, len(d.partitions))
 	perRecs := make([][]adm.Value, len(d.partitions))
@@ -155,16 +200,23 @@ func (d *Dataset) UpsertBatch(recs []adm.Value) error {
 		perKeys[t] = append(perKeys[t], pk)
 		perRecs[t] = append(perRecs[t], rec)
 	}
+	var firstErr error
 	for t, keys := range perKeys {
 		if keys == nil {
 			continue
 		}
-		d.partitions[t].UpsertBatch(keys, perRecs[t])
+		// Keep writing the remaining partitions even after one fails:
+		// the batch has no cross-partition atomicity either way, and
+		// stopping early would lose committed-elsewhere records' chance
+		// to commit.
+		if err := d.partitions[t].UpsertBatch(keys, perRecs[t]); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		hyracks.PutRecordSlice(keys)
 		hyracks.PutRecordSlice(perRecs[t])
 		perKeys[t], perRecs[t] = nil, nil
 	}
-	return nil
+	return firstErr
 }
 
 // UpsertFrame stores a whole dataflow frame. On success the frame is
@@ -455,6 +507,7 @@ func (d *Dataset) Stats() Stats {
 		total.Deletes += s.Deletes
 		total.Flushes += s.Flushes
 		total.Merges += s.Merges
+		total.FlushedRuns += s.FlushedRuns
 		total.Components += s.Components
 		total.MemEntries += s.MemEntries
 	}

@@ -1,0 +1,130 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// TestDurableDifferential: a randomized upsert/delete stream applied in
+// lockstep to three implementations — a durable partition that is
+// periodically closed and reopened (forcing recovery mid-stream), a
+// plain in-memory partition, and a shadow map — must agree on every
+// point lookup, the live count, and full ordered scans at every
+// checkpoint. Small budgets keep flushes, compactions, and WAL
+// rotation continuously in play.
+func TestDurableDifferential(t *testing.T) {
+	const (
+		seeds    = 8
+		ops      = 300
+		keySpace = 200
+	)
+	opts := Options{MemBudget: 2 << 10, MaxComponents: 3, WALSegBytes: 4 << 10}
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			fsys := NewMemFS()
+			dir := "part"
+			durable, err := OpenPartition(fsys, dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem := NewPartition(opts)
+			shadow := make(map[int64]int64)
+
+			r := rand.New(rand.NewSource(seed))
+			reopenEvery := 30 + r.Intn(30)
+			version := int64(0)
+			for op := 1; op <= ops; op++ {
+				k := r.Int63n(keySpace)
+				switch r.Intn(10) {
+				case 0, 1: // delete
+					durable.Delete(adm.Int(k))
+					mem.Delete(adm.Int(k))
+					delete(shadow, k)
+				case 2: // batch upsert (a small frame)
+					n := 1 + r.Intn(8)
+					keys := make([]adm.Value, n)
+					recs := make([]adm.Value, n)
+					for i := 0; i < n; i++ {
+						bk := r.Int63n(keySpace)
+						version++
+						keys[i] = adm.Int(bk)
+						recs[i] = rec(bk, "ver", adm.Int(version))
+						shadow[bk] = version
+					}
+					if err := durable.UpsertBatch(keys, recs); err != nil {
+						t.Fatal(err)
+					}
+					if err := mem.UpsertBatch(keys, recs); err != nil {
+						t.Fatal(err)
+					}
+				default: // single upsert
+					version++
+					durable.Upsert(adm.Int(k), rec(k, "ver", adm.Int(version)))
+					mem.Upsert(adm.Int(k), rec(k, "ver", adm.Int(version)))
+					shadow[k] = version
+				}
+
+				if op%reopenEvery == 0 {
+					if err := durable.Close(); err != nil {
+						t.Fatalf("op %d: close: %v", op, err)
+					}
+					durable, err = OpenPartition(fsys, dir, opts)
+					if err != nil {
+						t.Fatalf("op %d: reopen: %v", op, err)
+					}
+				}
+				if op%25 == 0 || op == ops {
+					diffCheck(t, op, durable, mem, shadow)
+				}
+			}
+			if err := durable.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if err := durable.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// diffCheck compares the three implementations exhaustively.
+func diffCheck(t *testing.T, op int, durable, mem *Partition, shadow map[int64]int64) {
+	t.Helper()
+	if got, want := durable.Len(), len(shadow); got != want {
+		t.Fatalf("op %d: durable Len = %d, shadow %d", op, got, want)
+	}
+	if got, want := mem.Len(), len(shadow); got != want {
+		t.Fatalf("op %d: memory Len = %d, shadow %d", op, got, want)
+	}
+	for k, v := range shadow {
+		dg, dok := durable.Get(adm.Int(k))
+		mg, mok := mem.Get(adm.Int(k))
+		if !dok || dg.Field("ver").IntVal() != v {
+			t.Fatalf("op %d: durable Get(%d) = %v,%v want ver=%d", op, k, dg, dok, v)
+		}
+		if !mok || mg.Field("ver").IntVal() != v {
+			t.Fatalf("op %d: memory Get(%d) = %v,%v want ver=%d", op, k, mg, mok, v)
+		}
+	}
+	// Ordered scans must agree element for element.
+	dc := durable.Snapshot().Cursor()
+	mc := mem.Snapshot().Cursor()
+	for i := 0; ; i++ {
+		dk, dv, dok := dc.Next()
+		mk, mv, mok := mc.Next()
+		if dok != mok {
+			t.Fatalf("op %d: scan lengths diverge at %d (durable=%v memory=%v)", op, i, dok, mok)
+		}
+		if !dok {
+			break
+		}
+		if adm.Compare(dk, mk) != 0 || adm.Compare(dv, mv) != 0 {
+			t.Fatalf("op %d: scan item %d diverges: %s=%s vs %s=%s", op, i, dk, dv, mk, mv)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package lsm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// durableOpts keeps memtables tiny so flushes, WAL segment rotation,
+// and compaction all happen inside small tests.
+func durableOpts() Options {
+	return Options{MemBudget: 4 << 10, MaxComponents: 8, WALSegBytes: 8 << 10}
+}
+
+// reopen closes p and opens the same directory again.
+func reopen(t *testing.T, p *Partition, fsys FS, dir string, opts Options) *Partition {
+	t.Helper()
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	np, err := OpenPartition(fsys, dir, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return np
+}
+
+// TestDurableBasicReopen: committed writes survive a clean close and
+// reopen, memtable-only (no flush ever happened).
+func TestDurableBasicReopen(t *testing.T) {
+	fsys := NewMemFS()
+	opts := Options{MemBudget: 1 << 20, MaxComponents: 8}
+	p, err := OpenPartition(fsys, "part", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		p.Upsert(adm.Int(i), rec(i, "v", adm.Int(i*i)))
+	}
+	p.Delete(adm.Int(7))
+	if s := p.Stats(); s.FlushedRuns != 0 {
+		t.Fatalf("unexpected flush: %d runs", s.FlushedRuns)
+	}
+	p = reopen(t, p, fsys, "part", opts)
+	defer p.Close()
+	if got := p.Len(); got != 99 {
+		t.Fatalf("Len after reopen = %d, want 99", got)
+	}
+	if _, ok := p.Get(adm.Int(7)); ok {
+		t.Fatal("deleted key resurrected by replay")
+	}
+	for i := int64(0); i < 100; i++ {
+		if i == 7 {
+			continue
+		}
+		got, ok := p.Get(adm.Int(i))
+		if !ok || got.Field("v").IntVal() != i*i {
+			t.Fatalf("Get(%d) after reopen = %v,%v", i, got, ok)
+		}
+	}
+}
+
+// TestDurableFlushAndReopen: a dataset larger than the memtable budget
+// flushes to run files; close/reopen serves identical data from runs +
+// replayed tail, and the WAL has been truncated behind the flushes.
+func TestDurableFlushAndReopen(t *testing.T) {
+	fsys := NewMemFS()
+	opts := durableOpts()
+	p, err := OpenPartition(fsys, "part", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	model := map[int64]int64{}
+	for i := int64(0); i < n; i++ {
+		k, v := i%600, i
+		p.Upsert(adm.Int(k), rec(k, "v", adm.Int(v)))
+		model[k] = v
+		if i%5 == 4 {
+			d := (i * 7) % 600
+			p.Delete(adm.Int(d))
+			delete(model, d)
+		}
+	}
+	if err := p.WaitForFlush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().FlushedRuns; got == 0 {
+		t.Fatal("expected at least one flushed run")
+	}
+	if got := p.FlushedLSN(); got == 0 {
+		t.Fatal("FlushedLSN still zero after flushes")
+	}
+
+	p = reopen(t, p, fsys, "part", opts)
+	defer p.Close()
+	if got, want := p.Len(), len(model); got != want {
+		t.Fatalf("Len after reopen = %d, want %d", got, want)
+	}
+	for k, v := range model {
+		got, ok := p.Get(adm.Int(k))
+		if !ok || got.Field("v").IntVal() != v {
+			t.Fatalf("Get(%d) = %v,%v want v=%d", k, got, ok, v)
+		}
+	}
+	// Scans stream runs + memtable merged in key order.
+	var last int64 = -1
+	p.Snapshot().Scan(func(k, r adm.Value) bool {
+		if k.IntVal() <= last {
+			t.Fatalf("scan out of order: %d after %d", k.IntVal(), last)
+		}
+		last = k.IntVal()
+		if want := model[k.IntVal()]; r.Field("v").IntVal() != want {
+			t.Fatalf("scan value for %d = %d, want %d", k.IntVal(), r.Field("v").IntVal(), want)
+		}
+		return true
+	})
+}
+
+// TestDurableCompaction: enough flushes trigger size-tiered compaction;
+// data stays intact and input files are deleted.
+func TestDurableCompaction(t *testing.T) {
+	fsys := NewMemFS()
+	opts := durableOpts()
+	p, err := OpenPartition(fsys, "part", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	keys := make([]adm.Value, 0, 64)
+	recs := make([]adm.Value, 0, 64)
+	for round := int64(0); round < 24; round++ {
+		keys, recs = keys[:0], recs[:0]
+		for i := int64(0); i < 64; i++ {
+			k := round*64 + i
+			keys = append(keys, adm.Int(k))
+			recs = append(recs, rec(k, "pad", adm.String("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")))
+		}
+		if err := p.UpsertBatch(keys, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush()
+	if err := p.WaitForFlush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Merges == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no compaction after %d flushed runs", p.Stats().FlushedRuns)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := p.Stats()
+	if s.Merges == 0 || p.Runs() >= int(s.FlushedRuns) {
+		t.Fatalf("Merges=%d Runs=%d FlushedRuns=%d: compaction did not shrink the level", s.Merges, p.Runs(), s.FlushedRuns)
+	}
+	if got := p.Len(); got != 24*64 {
+		t.Fatalf("Len after compaction = %d, want %d", got, 24*64)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableSnapshotSurvivesCompaction: a snapshot taken before a
+// compaction keeps reading retired run files (deleted from the
+// directory, still open).
+func TestDurableSnapshotSurvivesCompaction(t *testing.T) {
+	fsys := NewMemFS()
+	opts := durableOpts()
+	p, err := OpenPartition(fsys, "part", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := int64(0); i < 1500; i++ {
+		p.Upsert(adm.Int(i), rec(i, "pad", adm.String("yyyyyyyyyyyyyyyyyyyyyyyy")))
+	}
+	p.Flush()
+	if err := p.WaitForFlush(); err != nil {
+		t.Fatal(err)
+	}
+	snap := p.Snapshot()
+	// Force more flushes and (likely) compactions after the snapshot.
+	for i := int64(1500); i < 3000; i++ {
+		p.Upsert(adm.Int(i), rec(i, "pad", adm.String("yyyyyyyyyyyyyyyyyyyyyyyy")))
+	}
+	p.Flush()
+	if err := p.WaitForFlush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Len(); got != 1500 {
+		t.Fatalf("snapshot Len = %d, want 1500 (snapshot must be stable)", got)
+	}
+	if got := p.Len(); got != 3000 {
+		t.Fatalf("partition Len = %d, want 3000", got)
+	}
+}
+
+// TestWALSegmentTruncation: flushing advances the durable watermark and
+// deletes fully-covered WAL segments.
+func TestWALSegmentTruncation(t *testing.T) {
+	fsys := NewMemFS()
+	opts := durableOpts() // 8 KiB segments: plenty of rotation below
+	p, err := OpenPartition(fsys, "part", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := int64(0); i < 4000; i++ {
+		p.Upsert(adm.Int(i), rec(i, "pad", adm.String("zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz")))
+	}
+	p.Flush()
+	if err := p.WaitForFlush(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fsys.List("part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, name := range names {
+		if _, ok := parseWALSegmentName(name); ok {
+			segs++
+		}
+	}
+	// Everything is flushed; only the active tail segment (and possibly
+	// its immediate predecessor, if no append landed after the flush)
+	// should remain.
+	if segs > 2 {
+		t.Fatalf("%d WAL segments remain after full flush, want <= 2 (%v)", segs, names)
+	}
+}
+
+// TestWALCommitCoalescing: N goroutines each append one record and
+// commit concurrently; coalescing must release them all in far fewer
+// durability points than commit calls.
+func TestWALCommitCoalescing(t *testing.T) {
+	fsys := NewMemFS()
+	p, err := OpenPartition(fsys, "part", Options{
+		MemBudget:     1 << 20,
+		MaxComponents: 8,
+		GroupCommit:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const writers = 32
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int64) {
+			defer wg.Done()
+			p.Upsert(adm.Int(g), rec(g))
+		}(int64(g))
+	}
+	wg.Wait()
+	w := p.WAL()
+	if got, want := w.Committed(), w.LSN(); got != want {
+		t.Fatalf("Committed = %d, want %d (every writer returned)", got, want)
+	}
+	if commits := w.Commits(); commits >= writers {
+		t.Fatalf("Commits = %d for %d concurrent writers: no coalescing happened", commits, writers)
+	} else {
+		t.Logf("%d writers coalesced into %d group commits", writers, commits)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableErrSticky: a WAL that cannot sync reports the failure from
+// the write path on, and stays failed.
+func TestDurableErrSticky(t *testing.T) {
+	fsys := NewMemFS()
+	p, err := OpenPartition(fsys, "part", Options{MemBudget: 1 << 20, MaxComponents: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Upsert(adm.Int(1), rec(1))
+	if err := p.Err(); err != nil {
+		t.Fatalf("healthy partition reports %v", err)
+	}
+	fsys.FailSyncs(true)
+	if err := p.UpsertBatch([]adm.Value{adm.Int(2)}, []adm.Value{rec(2)}); err == nil {
+		t.Fatal("commit with failing fsync must error")
+	}
+	if err := p.Err(); err == nil {
+		t.Fatal("failure must be sticky")
+	}
+	fsys.FailSyncs(false)
+	if err := p.Err(); err == nil {
+		t.Fatal("sticky failure must not clear")
+	}
+	p.Close()
+}
+
+// TestOpenDatasetReopen: the dataset-level durable API round-trips
+// through close/reopen across multiple partitions.
+func TestOpenDatasetReopen(t *testing.T) {
+	fsys := NewMemFS()
+	ds, err := OpenDataset(fsys, "db/tweets", "tweets", nil, "id", 4, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := int64(0); i < n; i++ {
+		if err := ds.Upsert(rec(i, "text", adm.String(fmt.Sprintf("tweet %d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err = OpenDataset(fsys, "db/tweets", "tweets", nil, "id", 4, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if got := ds.Len(); got != n {
+		t.Fatalf("Len after reopen = %d, want %d", got, n)
+	}
+	for i := int64(0); i < n; i += 37 {
+		got, ok := ds.Get(adm.Int(i))
+		if !ok || got.Field("text").StringVal() != fmt.Sprintf("tweet %d", i) {
+			t.Fatalf("Get(%d) = %v,%v", i, got, ok)
+		}
+	}
+}

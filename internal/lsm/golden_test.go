@@ -1,0 +1,211 @@
+package lsm
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/index"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// The golden-file tests pin the on-disk formats byte for byte. A
+// legitimate format change must bump the relevant version byte
+// (walVersion, runVersion, adm.BinaryVersion) AND regenerate the
+// fixtures with -update; an accidental encoding drift fails here before
+// it can corrupt anyone's stored data.
+
+// goldenValues is a fixed, kind-diverse record set.
+func goldenValues() ([]adm.Value, []adm.Value) {
+	keys := []adm.Value{
+		adm.Int(1),
+		adm.Int(2),
+		adm.Int(3),
+		adm.String("four"),
+	}
+	recs := []adm.Value{
+		adm.ObjectValue(adm.ObjectFromPairs(
+			"id", adm.Int(1),
+			"name", adm.String("alice"),
+			"score", adm.Double(3.5),
+			"tags", adm.Array([]adm.Value{adm.String("a"), adm.String("b")}),
+		)),
+		adm.ObjectValue(adm.ObjectFromPairs(
+			"id", adm.Int(2),
+			"loc", adm.Point(7.5, -8.25),
+			"active", adm.Bool(true),
+		)),
+		adm.Missing(), // tombstone
+		adm.ObjectValue(adm.ObjectFromPairs(
+			"id", adm.String("four"),
+			"note", adm.Null(),
+		)),
+	}
+	return keys, recs
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden (%d vs %d bytes).\nIf the format change is intentional, bump the version byte and regenerate with -update.", name, len(got), len(want))
+	}
+}
+
+// TestGoldenWALSegment pins the WAL segment format: header, framing,
+// CRCs, and the adm binary encoding of the entries.
+func TestGoldenWALSegment(t *testing.T) {
+	fs := NewMemFS()
+	w, err := OpenWAL(fs, "wal", 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Replay(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	keys, recs := goldenValues()
+	// Two frames: a batch of three, then a single-entry frame.
+	var enc []byte
+	for i := 0; i < 3; i++ {
+		enc = adm.AppendBinary(enc, keys[i])
+		enc = adm.AppendBinary(enc, recs[i])
+	}
+	w.appendEncoded(enc, 3)
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	enc = adm.AppendBinary(enc[:0], keys[3])
+	enc = adm.AppendBinary(enc, recs[3])
+	w.appendEncoded(enc, 1)
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := readFileAll(fs, "wal/wal-000001.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "wal-v1.golden", data)
+
+	// The golden bytes must also replay — the read side is pinned too.
+	n := 0
+	err = w2Replay(t, fs, func(lsn uint64, key, rec adm.Value) {
+		if adm.Compare(key, keys[n]) != 0 || adm.Compare(rec, recs[n]) != 0 {
+			t.Fatalf("replay entry %d mismatch", n)
+		}
+		n++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("replayed %d entries, want 4", n)
+	}
+}
+
+func w2Replay(t *testing.T, fs FS, fn func(uint64, adm.Value, adm.Value)) error {
+	t.Helper()
+	w, err := OpenWAL(fs, "wal", 0, 1<<20)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return w.Replay(0, func(lsn uint64, key, rec adm.Value) error {
+		fn(lsn, key, rec)
+		return nil
+	})
+}
+
+// TestGoldenRunFile pins the run-file format: header, block framing,
+// block index, footer.
+func TestGoldenRunFile(t *testing.T) {
+	keys, recs := goldenValues()
+	items := make([]index.Item, len(keys))
+	for i := range keys {
+		items[i] = index.Item{Key: keys[i], Val: recs[i]}
+	}
+	fs := NewMemFS()
+	rf, err := writeRun(fs, "runs", "golden.run", []*component{{items: items}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf.close()
+
+	data, err := readFileAll(fs, "runs/golden.run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "run-v1.golden", data)
+
+	// Read side: the golden bytes must open, point-look-up, and scan.
+	rf, err = openRun(fs, "runs", "golden.run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.close()
+	if rf.entries != len(items) {
+		t.Fatalf("entries = %d, want %d", rf.entries, len(items))
+	}
+	for i, it := range items {
+		got, ok := rf.get(it.Key)
+		if !ok || adm.Compare(got, it.Val) != 0 {
+			t.Fatalf("get(item %d) = %v,%v", i, got, ok)
+		}
+	}
+	c := rf.cursor()
+	for i := range items {
+		it, ok := c.next()
+		if !ok || adm.Compare(it.Key, items[i].Key) != 0 {
+			t.Fatalf("cursor item %d mismatch", i)
+		}
+	}
+	if _, ok := c.next(); ok {
+		t.Fatal("cursor overran")
+	}
+	if err := rf.err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenVersionBytes pins the version constants themselves: bumping
+// one without regenerating fixtures (or vice versa) fails loudly.
+func TestGoldenVersionBytes(t *testing.T) {
+	if walVersion != 1 || runVersion != 1 || adm.BinaryVersion != 1 {
+		t.Fatalf("format versions changed (wal=%d run=%d adm=%d): regenerate golden files with -update and update this test",
+			walVersion, runVersion, adm.BinaryVersion)
+	}
+	wal, err := os.ReadFile(filepath.Join("testdata", "wal-v1.golden"))
+	if err != nil {
+		t.Skip("golden files not generated yet")
+	}
+	if string(wal[:len(walMagic)]) != walMagic || wal[len(walMagic)] != walVersion {
+		t.Fatal("WAL golden header does not carry the current magic+version")
+	}
+	run, err := os.ReadFile(filepath.Join("testdata", "run-v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(run[:len(runMagic)]) != runMagic || run[len(runMagic)] != runVersion {
+		t.Fatal("run golden header does not carry the current magic+version")
+	}
+}

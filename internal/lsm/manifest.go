@@ -1,0 +1,96 @@
+package lsm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+)
+
+// The manifest is the durable root of a partition directory: it names
+// the run files that make up the on-disk LSM (oldest first), the WAL
+// position they cover, and the next file sequence number. It is
+// replaced atomically (write tmp, fsync, rename, fsync dir), so a
+// crash at any point leaves either the old or the new manifest — never
+// a torn one. Run files and WAL segments not reachable from the
+// manifest are garbage from an interrupted flush or compaction and are
+// deleted on open.
+//
+// Only the flusher goroutine writes the manifest, so stores need no
+// locking beyond the partition's own flush serialization.
+const (
+	manifestName    = "MANIFEST"
+	manifestTmpName = "MANIFEST.tmp"
+	manifestVersion = 1
+)
+
+type manifest struct {
+	Version    int       `json:"version"`
+	FlushedLSN uint64    `json:"flushed_lsn"`
+	NextSeq    uint64    `json:"next_file_seq"`
+	Runs       []runMeta `json:"runs"` // oldest first
+}
+
+type runMeta struct {
+	File    string `json:"file"`
+	MaxLSN  uint64 `json:"max_lsn"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// loadManifest reads the manifest from dir. A missing manifest is a
+// fresh partition and yields an empty manifest, not an error.
+func loadManifest(fsys FS, dir string) (manifest, error) {
+	var m manifest
+	data, err := readFileAll(fsys, joinPath(dir, manifestName))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			m.Version = manifestVersion
+			m.NextSeq = 1
+			return m, nil
+		}
+		return m, fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return m, fmt.Errorf("lsm: manifest: unsupported version %d", m.Version)
+	}
+	if m.NextSeq == 0 {
+		m.NextSeq = 1
+	}
+	return m, nil
+}
+
+// storeManifest atomically replaces the manifest in dir.
+func storeManifest(fsys FS, dir string, m manifest) error {
+	m.Version = manifestVersion
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	tmp := joinPath(dir, manifestTmpName)
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if err := fsys.Rename(tmp, joinPath(dir, manifestName)); err != nil {
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("lsm: manifest: %w", err)
+	}
+	return nil
+}

@@ -47,8 +47,11 @@ type Options struct {
 	// MaxComponents is the number of immutable components that triggers
 	// a full (tiered) merge.
 	MaxComponents int
-	// GroupCommit is the simulated WAL flush latency (see WAL).
+	// GroupCommit is the WAL group-commit window (see WAL).
 	GroupCommit time.Duration
+	// WALSegBytes caps one durable WAL segment file (0 = default 4 MiB).
+	// Only durable partitions (OpenPartition) consult it.
+	WALSegBytes int64
 }
 
 // DefaultOptions are sized for the in-process simulation: small enough
@@ -60,12 +63,24 @@ func DefaultOptions() Options {
 	}
 }
 
-// component is one immutable sorted run: either a frozen memtable
-// B-tree (freeze is O(1) — the tree is detached, never copied) or a
-// flat item slice (the output of a tiered merge).
+// component is one immutable sorted run: a frozen memtable B-tree
+// (freeze is O(1) — the tree is detached, never copied), a flat item
+// slice (the output of an in-memory tiered merge), or an on-disk run
+// file (the output of a durable flush or compaction).
 type component struct {
 	items []index.Item // ascending by key; tombstones are MISSING values
 	tree  *index.BTree // frozen memtable; nil for slice-backed runs
+	run   *runFile     // on-disk run; nil for memory-backed components
+
+	// upToLSN is the highest WAL sequence number whose effect the
+	// component (together with everything older) contains. The flusher
+	// uses it as the durable watermark: once this component is a run
+	// file, WAL segments at or below upToLSN are dead. Zero in
+	// non-durable partitions.
+	upToLSN uint64
+	// bytes is the on-disk size of a run-backed component (compaction
+	// tiering input).
+	bytes int64
 
 	// shared marks components handed out to a Snapshot (set under the
 	// partition lock). A tiered merge may recycle the nodes of a frozen
@@ -74,6 +89,9 @@ type component struct {
 }
 
 func (c *component) get(key adm.Value) (adm.Value, bool) {
+	if c.run != nil {
+		return c.run.get(key)
+	}
 	if c.tree != nil {
 		return c.tree.Get(key)
 	}
@@ -92,15 +110,20 @@ func (c *component) get(key adm.Value) (adm.Value, bool) {
 	return adm.Value{}, false
 }
 
-// runCursor streams one component in key order: a slice walk or an
-// index.BTree cursor, depending on how the run is backed.
+// runCursor streams one component in key order: a slice walk, an
+// index.BTree cursor, or a block-streaming run-file cursor, depending
+// on how the run is backed.
 type runCursor struct {
 	items []index.Item
 	pos   int
 	tc    *index.Cursor
+	fc    *runFileCursor
 }
 
 func (c *component) cursor() runCursor {
+	if c.run != nil {
+		return runCursor{fc: c.run.cursor()}
+	}
 	if c.tree != nil {
 		return runCursor{tc: c.tree.Cursor()}
 	}
@@ -108,6 +131,9 @@ func (c *component) cursor() runCursor {
 }
 
 func (rc *runCursor) next() (index.Item, bool) {
+	if rc.fc != nil {
+		return rc.fc.next()
+	}
 	if rc.tc != nil {
 		return rc.tc.Next()
 	}
@@ -122,14 +148,17 @@ func (rc *runCursor) next() (index.Item, bool) {
 // Stats is a point-in-time copy of partition activity counters;
 // experiments read these to explain throughput shapes.
 type Stats struct {
-	Gets       uint64
-	Scans      uint64
-	Upserts    uint64
-	Deletes    uint64
-	Flushes    uint64
-	Merges     uint64
-	Components int
-	MemEntries int
+	Gets    uint64
+	Scans   uint64
+	Upserts uint64
+	Deletes uint64
+	Flushes uint64
+	Merges  uint64
+	// FlushedRuns counts frozen memtables persisted as on-disk run
+	// files (durable partitions only).
+	FlushedRuns uint64
+	Components  int
+	MemEntries  int
 }
 
 // liveStats holds the counters that are written while only a read lock
@@ -153,12 +182,31 @@ type Partition struct {
 	components []*component // newest first
 	secondary  []SecondaryIndex
 	stats      Stats
+	closed     bool
+	perr       error // sticky storage failure (flush/compaction/commit)
 
 	// onNew is the memtable byte-accounting hook handed to
 	// BTree.PutBatch; built once so batch upserts don't allocate a
 	// closure per frame.
 	onNew func(index.Item)
+
+	// Durable state (OpenPartition); fs == nil means in-memory only.
+	fs  FS
+	dir string
+	// flushMu serializes the flusher's work units (flush, compaction,
+	// manifest stores) against Close. man is flusher-owned: read or
+	// written only under flushMu.
+	flushMu     sync.Mutex
+	man         manifest
+	flushC      chan struct{}
+	flusherDone chan struct{}
+	// retired holds run files replaced by compaction; live snapshots may
+	// still read them, so they are closed only at partition Close.
+	retired []*runFile
 }
+
+// durable reports whether the partition persists to a filesystem.
+func (p *Partition) durable() bool { return p.fs != nil }
 
 // NewPartition returns an empty partition.
 func NewPartition(opts Options) *Partition {
@@ -194,38 +242,139 @@ func (p *Partition) AttachIndex(idx SecondaryIndex) {
 	})
 }
 
-// Upsert inserts or replaces the record under key.
-func (p *Partition) Upsert(key, rec adm.Value) {
-	p.wal.Append()
+// encBufPool recycles the WAL entry-encoding scratch used by the
+// durable write paths (the encoding happens outside the partition lock;
+// only the LSN assignment is inside it).
+var encBufPool sync.Pool
+
+func getEncBuf() *[]byte {
+	if v := encBufPool.Get(); v != nil {
+		b := v.(*[]byte)
+		*b = (*b)[:0]
+		return b
+	}
+	return new([]byte)
+}
+
+func putEncBuf(b *[]byte) { encBufPool.Put(b) }
+
+// encodeEntry appends one WAL entry (binary key then record; MISSING
+// record = tombstone) for durable partitions, or returns nil scratch
+// for in-memory ones.
+func (p *Partition) encodeEntry(key, rec adm.Value) *[]byte {
+	if !p.durable() {
+		return nil
+	}
+	buf := getEncBuf()
+	*buf = adm.AppendBinary(*buf, key)
+	*buf = adm.AppendBinary(*buf, rec)
+	return buf
+}
+
+// logLocked appends the encoded entries to the WAL under the partition
+// lock, which is the invariant that makes recovery exact: LSNs are
+// assigned in memtable apply order, so a freeze's LSN watermark covers
+// precisely the entries in the frozen tree.
+func (p *Partition) logLocked(buf *[]byte, n int) {
+	if buf == nil {
+		p.wal.appendEncoded(nil, n)
+		return
+	}
+	p.wal.appendEncoded(*buf, n)
+}
+
+// commitDurable group-commits a durable write and records the first
+// failure stickily (the in-memory state is ahead of the log at that
+// point, but so is a crashed process; recovery replays only what was
+// acknowledged).
+func (p *Partition) commitDurable() error {
+	if !p.durable() {
+		return nil
+	}
+	err := p.wal.Commit()
+	if err != nil {
+		p.fail(err)
+	}
+	return err
+}
+
+// fail records the first storage failure; later calls keep the first.
+func (p *Partition) fail(err error) {
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.perr == nil {
+		p.perr = err
+	}
+	p.mu.Unlock()
+}
+
+// Err returns the sticky storage failure, if any: a WAL write that
+// could not be made durable, or a failed flush/compaction.
+func (p *Partition) Err() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.perr != nil {
+		return p.perr
+	}
+	return p.wal.Err()
+}
+
+// Upsert inserts or replaces the record under key. In durable mode the
+// call returns after the entry is group-committed; a commit failure is
+// recorded stickily (see Err).
+func (p *Partition) Upsert(key, rec adm.Value) {
+	buf := p.encodeEntry(key, rec)
+	p.mu.Lock()
+	p.logLocked(buf, 1)
 	p.stats.Upserts++
 	p.applyLocked(key, rec)
+	p.mu.Unlock()
+	if buf != nil {
+		putEncBuf(buf)
+	}
+	p.commitDurable()
 }
 
 // Insert stores the record, failing if the key already exists. This is
-// the INSERT (vs UPSERT) DML semantic.
+// the INSERT (vs UPSERT) DML semantic. The duplicate check happens
+// before the WAL append — a failed insert must not leave an entry that
+// replay would apply.
 func (p *Partition) Insert(key, rec adm.Value) error {
-	p.wal.Append()
+	buf := p.encodeEntry(key, rec)
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if _, ok := p.getLocked(key); ok {
+		p.mu.Unlock()
+		if buf != nil {
+			putEncBuf(buf)
+		}
 		return fmt.Errorf("lsm: duplicate key %s", key)
 	}
+	p.logLocked(buf, 1)
 	p.stats.Upserts++
 	p.applyLocked(key, rec)
-	return nil
+	p.mu.Unlock()
+	if buf != nil {
+		putEncBuf(buf)
+	}
+	return p.commitDurable()
 }
 
 // Delete removes the key by writing a tombstone. It reports whether a
 // live record was visible before the delete.
 func (p *Partition) Delete(key adm.Value) bool {
-	p.wal.Append()
+	buf := p.encodeEntry(key, adm.Missing())
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	_, existed := p.getLocked(key)
+	p.logLocked(buf, 1)
 	p.stats.Deletes++
 	p.applyLocked(key, adm.Missing())
+	p.mu.Unlock()
+	if buf != nil {
+		putEncBuf(buf)
+	}
+	p.commitDurable()
 	return existed
 }
 
@@ -270,15 +419,27 @@ func putItemBatch(b *[]index.Item) {
 // occurrence, matching the record-at-a-time upsert order. The caller
 // keeps ownership of the keys/recs slices (their headers are copied
 // into the memtable), but the record payloads are retained by storage.
-func (p *Partition) UpsertBatch(keys, recs []adm.Value) {
+//
+// In durable mode the batch is WAL-framed as one record (encoded in
+// original order — replay applies sequentially, so last-wins dedupe is
+// reproduced) and the call returns after one group commit; the error is
+// that commit's result.
+func (p *Partition) UpsertBatch(keys, recs []adm.Value) error {
 	n := len(keys)
 	if n == 0 {
-		return
+		return nil
 	}
 	if n != len(recs) {
 		panic("lsm: UpsertBatch keys/recs length mismatch")
 	}
-	p.wal.AppendBatch(n)
+	var enc *[]byte
+	if p.durable() {
+		enc = getEncBuf()
+		for i := range keys {
+			*enc = adm.AppendBinary(*enc, keys[i])
+			*enc = adm.AppendBinary(*enc, recs[i])
+		}
+	}
 	// Sort (and dedupe last-wins) outside the partition lock so
 	// concurrent readers only wait on the apply itself.
 	batch := getItemBatch(n)
@@ -311,12 +472,20 @@ func (p *Partition) UpsertBatch(keys, recs []adm.Value) {
 		items = items[:w]
 	}
 	p.mu.Lock()
+	p.logLocked(enc, n)
 	p.stats.Upserts += uint64(n)
 	p.applyBatchLocked(items)
 	p.mu.Unlock()
+	if enc != nil {
+		putEncBuf(enc)
+	}
 	*batch = items[:n] // restore the written length for the clear
 	putItemBatch(batch)
-	p.wal.Commit() // one group commit per frame
+	err := p.wal.Commit() // one group commit per frame
+	if err != nil {
+		p.fail(err)
+	}
+	return err
 }
 
 // applyBatchLocked bulk-inserts the sorted, unique-keyed run into the
@@ -428,9 +597,17 @@ func (p *Partition) freezeLocked() {
 		return
 	}
 	p.stats.Flushes++
-	p.components = append([]*component{{tree: p.mem}}, p.components...)
+	// The watermark is exact because every WAL append happens under the
+	// partition lock we hold: the frozen tree contains precisely the
+	// effects of LSNs <= upToLSN not already in older components.
+	c := &component{tree: p.mem, upToLSN: p.wal.LSN()}
+	p.components = append([]*component{c}, p.components...)
 	p.mem = index.NewBTree()
 	p.memBytes = 0
+	if p.durable() {
+		p.signalFlushLocked()
+		return
+	}
 	if len(p.components) > p.opts.MaxComponents {
 		p.mergeLocked()
 	}

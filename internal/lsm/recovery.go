@@ -1,0 +1,179 @@
+package lsm
+
+import (
+	"fmt"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/index"
+)
+
+// OpenPartition opens (or creates) a durable partition rooted at dir.
+// Recovery runs before the partition accepts work:
+//
+//  1. load the manifest (absent = fresh partition);
+//  2. delete orphans — run files and temp manifests the manifest does
+//     not reference, left behind by a crash mid-flush or mid-compaction;
+//  3. open the manifest's run files as the component suffix (newest
+//     first);
+//  4. replay the WAL tail — every entry past the manifest's flushed
+//     watermark — into a fresh memtable;
+//  5. start the background flusher.
+//
+// A partition that crashed at any point reopens to exactly the state
+// covered by acknowledged commits: run files hold LSNs <= FlushedLSN,
+// the WAL holds the rest, and the one frame a crash may have torn is
+// all-or-nothing by CRC framing.
+func OpenPartition(fsys FS, dir string, opts Options) (*Partition, error) {
+	if opts.MemBudget <= 0 {
+		opts.MemBudget = DefaultOptions().MemBudget
+	}
+	if opts.MaxComponents <= 0 {
+		opts.MaxComponents = DefaultOptions().MaxComponents
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	man, err := loadManifest(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Partition{
+		opts:        opts,
+		mem:         index.NewBTree(),
+		fs:          fsys,
+		dir:         dir,
+		man:         man,
+		flushC:      make(chan struct{}, 1),
+		flusherDone: make(chan struct{}),
+	}
+	p.onNew = func(it index.Item) {
+		p.memBytes += it.Key.MemSize() + it.Val.MemSize()
+	}
+
+	if err := removeOrphans(fsys, dir, man); err != nil {
+		return nil, err
+	}
+
+	// Manifest runs are oldest first; components are newest first.
+	for i := len(man.Runs) - 1; i >= 0; i-- {
+		rm := man.Runs[i]
+		rf, err := openRun(fsys, dir, rm.File)
+		if err != nil {
+			p.closeRunsLocked()
+			return nil, err
+		}
+		p.components = append(p.components, &component{run: rf, upToLSN: rm.MaxLSN, bytes: rf.size})
+	}
+
+	wal, err := OpenWAL(fsys, dir, opts.GroupCommit, opts.WALSegBytes)
+	if err != nil {
+		p.closeRunsLocked()
+		return nil, err
+	}
+	// Replay applies straight to the fresh memtable: no locks are
+	// needed (the partition is not yet published) and no re-logging
+	// happens (the entries are already in the WAL). Tombstones stay in
+	// the memtable as MISSING so they shadow older runs.
+	err = wal.Replay(man.FlushedLSN, func(_ uint64, key, rec adm.Value) error {
+		if !p.mem.Put(key, rec) {
+			p.memBytes += key.MemSize() + rec.MemSize()
+		}
+		return nil
+	})
+	if err != nil {
+		p.closeRunsLocked()
+		return nil, fmt.Errorf("lsm: recovery: %w", err)
+	}
+	p.wal = wal
+
+	go p.flusher()
+	// A replayed tail larger than the budget freezes immediately (the
+	// WAL position is final now, so the watermark is correct).
+	p.mu.Lock()
+	if p.memBytes >= p.opts.MemBudget {
+		p.freezeLocked()
+	}
+	p.mu.Unlock()
+	return p, nil
+}
+
+// removeOrphans deletes files in dir that neither the manifest nor the
+// WAL owns: interrupted run writes and manifest temp files.
+func removeOrphans(fsys FS, dir string, man manifest) error {
+	names, err := fsys.List(dir)
+	if err != nil {
+		return err
+	}
+	referenced := make(map[string]bool, len(man.Runs))
+	for _, rm := range man.Runs {
+		referenced[rm.File] = true
+	}
+	for _, name := range names {
+		if name == manifestName || referenced[name] {
+			continue
+		}
+		if _, ok := parseWALSegmentName(name); ok {
+			continue
+		}
+		if err := fsys.Remove(joinPath(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closeRunsLocked closes every run-backed component and retired run
+// file. Only used on open failure and at Close (no lock is actually
+// held in the open-failure path; the partition is unpublished).
+func (p *Partition) closeRunsLocked() error {
+	var err error
+	for _, c := range p.components {
+		if c.run != nil {
+			if cerr := c.run.close(); err == nil {
+				err = cerr
+			}
+			if rerr := c.run.err(); err == nil {
+				err = rerr
+			}
+		}
+	}
+	for _, rf := range p.retired {
+		if cerr := rf.close(); err == nil {
+			err = cerr
+		}
+	}
+	p.retired = nil
+	return err
+}
+
+// Close shuts the partition down: the flusher drains and exits, the
+// WAL commits its tail and closes, run files close. The partition must
+// not be used afterwards. Close does NOT force a final memtable flush —
+// the WAL already holds everything, and reopening replays it; that keeps
+// Close cheap and crash-equivalent (closing and crashing recover
+// identically).
+func (p *Partition) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		err := p.perr
+		p.mu.Unlock()
+		return err
+	}
+	p.closed = true
+	p.mu.Unlock()
+	if !p.durable() {
+		return nil
+	}
+	close(p.flushC)
+	<-p.flusherDone
+	err := p.wal.Close()
+	p.mu.Lock()
+	if cerr := p.closeRunsLocked(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = p.perr
+	}
+	p.mu.Unlock()
+	return err
+}

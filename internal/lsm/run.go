@@ -1,0 +1,417 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/index"
+)
+
+// Run files are the on-disk form of an immutable LSM component: the
+// sorted key/record items of a frozen memtable (or of a compaction
+// merge), laid out in CRC-framed blocks with a first-key block index
+// so point lookups touch one block and scans stream block by block
+// through the same runCursor/k-way merge machinery that walks
+// in-memory components.
+//
+// # On-disk format (version 1)
+//
+//	run      := header block* index footer
+//	header   := "IDEARUN" version:1B
+//	block    := payloadLen:4B-LE crc32c(payload):4B-LE payload
+//	payload  := count:uvarint (key:adm-binary record:adm-binary){count}
+//	index    := payloadLen:4B-LE crc32c(payload):4B-LE ipayload
+//	ipayload := entries:uvarint blocks:uvarint
+//	            (off:uvarint len:uvarint firstKey:adm-binary){blocks}
+//	footer   := indexOff:8B-LE "IDEARUNF"
+//
+// Tombstones (MISSING records) are stored: a run flushed from a
+// memtable must shadow older runs. Only a compaction that includes the
+// oldest run drops them.
+const (
+	runMagic       = "IDEARUN"
+	runVersion     = 1
+	runHeaderSize  = len(runMagic) + 1
+	runFooterMagic = "IDEARUNF"
+	runFooterSize  = 8 + len(runFooterMagic)
+	runBlockHeader = 8 // payload length + CRC32C
+
+	// runBlockTarget is the block payload size a writer flushes at.
+	// Small enough that typical test datasets span multiple blocks.
+	runBlockTarget = 16 << 10
+)
+
+// runWriter streams sorted items into a run file.
+type runWriter struct {
+	f       File
+	off     int64
+	scratch []byte // current block payload being built (entries only)
+	count   int    // entries in the current block
+	first   []byte // encoded first key of the current block
+	frame   []byte // assembly buffer for framed blocks
+	blocks  []blockMeta
+	entries int
+}
+
+// blockMeta locates one block and remembers its first key.
+type blockMeta struct {
+	off      int64
+	length   int
+	firstKey adm.Value
+}
+
+func newRunWriter(f File) *runWriter {
+	return &runWriter{f: f}
+}
+
+func (w *runWriter) writeHeader() error {
+	hdr := append([]byte(runMagic), runVersion)
+	if _, err := w.f.Write(hdr); err != nil {
+		return err
+	}
+	w.off = int64(runHeaderSize)
+	return nil
+}
+
+func (w *runWriter) add(it index.Item) error {
+	if w.count == 0 {
+		w.first = adm.AppendBinary(w.first[:0], it.Key)
+	}
+	w.scratch = adm.AppendBinary(w.scratch, it.Key)
+	w.scratch = adm.AppendBinary(w.scratch, it.Val)
+	w.count++
+	w.entries++
+	if len(w.scratch) >= runBlockTarget {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *runWriter) flushBlock() error {
+	if w.count == 0 {
+		return nil
+	}
+	w.frame = w.frame[:0]
+	w.frame = append(w.frame, 0, 0, 0, 0, 0, 0, 0, 0)
+	w.frame = binary.AppendUvarint(w.frame, uint64(w.count))
+	w.frame = append(w.frame, w.scratch...)
+	payload := w.frame[runBlockHeader:]
+	binary.LittleEndian.PutUint32(w.frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.frame[4:], crc32.Checksum(payload, crcTable))
+	if _, err := w.f.Write(w.frame); err != nil {
+		return err
+	}
+	firstKey, _, err := adm.DecodeBinary(w.first)
+	if err != nil {
+		return fmt.Errorf("lsm: run writer first key: %w", err)
+	}
+	w.blocks = append(w.blocks, blockMeta{off: w.off, length: len(w.frame), firstKey: firstKey})
+	w.off += int64(len(w.frame))
+	w.scratch = w.scratch[:0]
+	w.count = 0
+	return nil
+}
+
+// finish flushes the tail block, writes the index and footer, and
+// fsyncs. It returns the total entry count and final file size.
+func (w *runWriter) finish() (entries int, size int64, err error) {
+	if err := w.flushBlock(); err != nil {
+		return 0, 0, err
+	}
+	w.frame = w.frame[:0]
+	w.frame = append(w.frame, 0, 0, 0, 0, 0, 0, 0, 0)
+	w.frame = binary.AppendUvarint(w.frame, uint64(w.entries))
+	w.frame = binary.AppendUvarint(w.frame, uint64(len(w.blocks)))
+	for _, b := range w.blocks {
+		w.frame = binary.AppendUvarint(w.frame, uint64(b.off))
+		w.frame = binary.AppendUvarint(w.frame, uint64(b.length))
+		w.frame = adm.AppendBinary(w.frame, b.firstKey)
+	}
+	payload := w.frame[runBlockHeader:]
+	binary.LittleEndian.PutUint32(w.frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.frame[4:], crc32.Checksum(payload, crcTable))
+	indexOff := w.off
+	if _, err := w.f.Write(w.frame); err != nil {
+		return 0, 0, err
+	}
+	w.off += int64(len(w.frame))
+	var footer [runFooterSize]byte
+	binary.LittleEndian.PutUint64(footer[:], uint64(indexOff))
+	copy(footer[8:], runFooterMagic)
+	if _, err := w.f.Write(footer[:]); err != nil {
+		return 0, 0, err
+	}
+	w.off += int64(runFooterSize)
+	if err := w.f.Sync(); err != nil {
+		return 0, 0, err
+	}
+	return w.entries, w.off, nil
+}
+
+// writeRun streams a merge of comps (newest first) into a new run file
+// at pathname and makes it durable (file fsync + directory sync). It
+// returns an open reader over the written run.
+func writeRun(fsys FS, dir, name string, comps []*component, dropTombstones bool) (*runFile, error) {
+	pathname := joinPath(dir, name)
+	f, err := fsys.Create(pathname)
+	if err != nil {
+		return nil, err
+	}
+	w := newRunWriter(f)
+	if err := w.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	m := newMergeCursor(comps, dropTombstones)
+	for {
+		it, ok := m.next()
+		if !ok {
+			break
+		}
+		if err := w.add(it); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, _, err := w.finish(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return nil, err
+	}
+	return openRun(fsys, dir, name)
+}
+
+// runFile is an open, immutable on-disk run: the block index lives in
+// memory, records are decoded from blocks on demand. Point lookups and
+// cursors are safe for concurrent use (reads go through ReadAt).
+type runFile struct {
+	name    string
+	f       File
+	size    int64
+	blocks  []blockMeta
+	entries int
+
+	// readErr records the first IO/corruption error hit by a reader;
+	// lookups degrade to not-found (the partition surfaces the error
+	// via Err()/Close()).
+	readErr atomic.Pointer[error]
+}
+
+// openRun opens and validates a run file, loading its block index.
+func openRun(fsys FS, dir, name string) (*runFile, error) {
+	f, err := fsys.Open(joinPath(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	r := &runFile{name: name, f: f}
+	if err := r.load(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: run %s: %w", name, err)
+	}
+	return r, nil
+}
+
+func (r *runFile) load() error {
+	size, err := r.f.Size()
+	if err != nil {
+		return err
+	}
+	r.size = size
+	if size < int64(runHeaderSize+runFooterSize) {
+		return fmt.Errorf("truncated (size %d)", size)
+	}
+	var hdr [runHeaderSize]byte
+	if _, err := r.f.ReadAt(hdr[:], 0); err != nil {
+		return err
+	}
+	if string(hdr[:len(runMagic)]) != runMagic {
+		return fmt.Errorf("bad magic")
+	}
+	if hdr[len(runMagic)] != runVersion {
+		return fmt.Errorf("unsupported version %d", hdr[len(runMagic)])
+	}
+	var footer [runFooterSize]byte
+	if _, err := r.f.ReadAt(footer[:], size-int64(runFooterSize)); err != nil {
+		return err
+	}
+	if string(footer[8:]) != runFooterMagic {
+		return fmt.Errorf("bad footer magic (torn write?)")
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[:]))
+	if indexOff < int64(runHeaderSize) || indexOff >= size-int64(runFooterSize) {
+		return fmt.Errorf("index offset %d out of range", indexOff)
+	}
+	payload, err := r.readFrame(indexOff, size-int64(runFooterSize)-indexOff)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	entries, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return fmt.Errorf("index: bad entry count")
+	}
+	nblocks, bn := binary.Uvarint(payload[n:])
+	if bn <= 0 || nblocks > uint64(size) {
+		return fmt.Errorf("index: bad block count")
+	}
+	r.entries = int(entries)
+	pos := n + bn
+	r.blocks = make([]blockMeta, 0, nblocks)
+	for i := uint64(0); i < nblocks; i++ {
+		off, on := binary.Uvarint(payload[pos:])
+		if on <= 0 {
+			return fmt.Errorf("index: block %d offset", i)
+		}
+		pos += on
+		length, ln := binary.Uvarint(payload[pos:])
+		if ln <= 0 {
+			return fmt.Errorf("index: block %d length", i)
+		}
+		pos += ln
+		key, kn, err := adm.DecodeBinary(payload[pos:])
+		if err != nil {
+			return fmt.Errorf("index: block %d first key: %w", i, err)
+		}
+		pos += kn
+		r.blocks = append(r.blocks, blockMeta{off: int64(off), length: int(length), firstKey: key})
+	}
+	return nil
+}
+
+// readFrame reads and CRC-validates one framed region (block or index)
+// of at most maxLen bytes starting at off, returning the payload.
+func (r *runFile) readFrame(off, maxLen int64) ([]byte, error) {
+	var hdr [runBlockHeader]byte
+	if _, err := r.f.ReadAt(hdr[:], off); err != nil {
+		return nil, err
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[:]))
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if plen <= 0 || plen > maxLen-runBlockHeader {
+		return nil, fmt.Errorf("frame length %d out of range", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := r.f.ReadAt(payload, off+runBlockHeader); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, fmt.Errorf("frame CRC mismatch at offset %d", off)
+	}
+	return payload, nil
+}
+
+// readBlock decodes block i's items, appending into dst.
+func (r *runFile) readBlock(i int, dst []index.Item) ([]index.Item, error) {
+	b := r.blocks[i]
+	payload, err := r.readFrame(b.off, int64(b.length))
+	if err != nil {
+		return dst, err
+	}
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return dst, fmt.Errorf("block %d: bad count", i)
+	}
+	pos := n
+	for j := uint64(0); j < count; j++ {
+		key, kn, err := adm.DecodeBinary(payload[pos:])
+		if err != nil {
+			return dst, fmt.Errorf("block %d entry %d: %w", i, j, err)
+		}
+		pos += kn
+		val, vn, err := adm.DecodeBinary(payload[pos:])
+		if err != nil {
+			return dst, fmt.Errorf("block %d entry %d: %w", i, j, err)
+		}
+		pos += vn
+		dst = append(dst, index.Item{Key: key, Val: val})
+	}
+	return dst, nil
+}
+
+func (r *runFile) fail(err error) {
+	e := fmt.Errorf("lsm: run %s: %w", r.name, err)
+	r.readErr.CompareAndSwap(nil, &e)
+}
+
+// err returns the sticky read error, if any.
+func (r *runFile) err() error {
+	if p := r.readErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// get performs a point lookup: binary-search the block index for the
+// last block whose first key is <= key, then scan that block.
+func (r *runFile) get(key adm.Value) (adm.Value, bool) {
+	lo, hi := 0, len(r.blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adm.Compare(r.blocks[mid].firstKey, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return adm.Value{}, false
+	}
+	items, err := r.readBlock(lo-1, nil)
+	if err != nil {
+		r.fail(err)
+		return adm.Value{}, false
+	}
+	a, b := 0, len(items)
+	for a < b {
+		mid := (a + b) / 2
+		if adm.Less(items[mid].Key, key) {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	if a < len(items) && adm.Compare(items[a].Key, key) == 0 {
+		return items[a].Val, true
+	}
+	return adm.Value{}, false
+}
+
+func (r *runFile) close() error { return r.f.Close() }
+
+// runFileCursor streams a run's items block by block in key order.
+type runFileCursor struct {
+	r     *runFile
+	block int
+	items []index.Item
+	pos   int
+}
+
+func (r *runFile) cursor() *runFileCursor { return &runFileCursor{r: r} }
+
+func (c *runFileCursor) next() (index.Item, bool) {
+	for {
+		if c.pos < len(c.items) {
+			it := c.items[c.pos]
+			c.pos++
+			return it, true
+		}
+		if c.block >= len(c.r.blocks) {
+			return index.Item{}, false
+		}
+		items, err := c.r.readBlock(c.block, c.items[:0])
+		if err != nil {
+			c.r.fail(err)
+			return index.Item{}, false
+		}
+		c.items = items
+		c.pos = 0
+		c.block++
+	}
+}
