@@ -91,6 +91,11 @@ func run(listen string, nodes int) error {
 	}
 	fmt.Printf("ideafeed: ingested=%d stored=%d computing-jobs=%d mean-refresh=%v\n",
 		stats.Ingested, stats.Stored, stats.Invocations, stats.MeanRefresh)
+	fmt.Printf("ideafeed: spilled=%d frames (%d records) shed=%d frames (%d records) sampled-out=%d frames (%d records)\n",
+		stats.SpilledFrames, stats.SpilledRecords, stats.ShedFrames, stats.ShedRecords,
+		stats.SampledFrames, stats.SampledRecords)
+	fmt.Printf("ideafeed: last-checkpoint=%d resumptions=%d\n",
+		stats.LastCheckpoint, stats.Resumptions)
 
 	rows, err := c.Query(ctx, `
 		SELECT e.safety_check_flag AS flag, count(*) AS num

@@ -3,6 +3,9 @@ package idea
 import (
 	"errors"
 	"fmt"
+
+	"github.com/ideadb/idea/internal/cluster"
+	"github.com/ideadb/idea/internal/core"
 )
 
 // Sentinel errors for the public API. Wrap-aware callers use errors.Is;
@@ -20,6 +23,19 @@ var (
 	// ErrFeedNotRunning reports an operation that needs a live pipeline
 	// (Wait, Stop) on a feed that is not running.
 	ErrFeedNotRunning = errors.New("idea: feed is not running")
+	// ErrFeedOverloaded reports a feed whose loss-free congestion
+	// handling ran out of room: the intake ring was full and the bounded
+	// disk spill lane was exhausted (or failed). The feed fails rather
+	// than buffer without bound. Aliases the internal sentinel so
+	// errors.Is works across the whole stack, including through
+	// StatementError.
+	ErrFeedOverloaded = core.ErrFeedOverloaded
+	// ErrPartitionDown reports an operation routed to a killed cluster
+	// partition. With failover enabled (the default) the feed manager
+	// restarts the pipeline on surviving nodes and resumes from the last
+	// checkpoint; the error surfaces only when failover is disabled or
+	// no nodes survive.
+	ErrPartitionDown = cluster.ErrPartitionDown
 )
 
 // StatementError locates a failure inside a multi-statement Execute

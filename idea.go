@@ -90,6 +90,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // Nodes returns the cluster size.
 func (c *Cluster) Nodes() int { return c.inner.NumNodes() }
 
+// KillNode simulates a partition failure: every pipeline operator
+// pinned to the node fails with ErrPartitionDown. Feeds started with
+// failover enabled (the default) restart on the surviving nodes and
+// resume from their last checkpoint. Storage is not destroyed — the
+// simulation models shared storage that survivors can reach. Killing
+// an already-dead or out-of-range node is a no-op.
+func (c *Cluster) KillNode(node int) { c.inner.KillNode(node) }
+
+// NodeAlive reports whether a node is still up.
+func (c *Cluster) NodeAlive(node int) bool { return c.inner.NodeAlive(node) }
+
 // FeedSource supplies raw records to a feed: Run emits one record per
 // call until the source is exhausted or ctx is canceled; emit blocks for
 // backpressure. It is the public face of the paper's feed adapter.
@@ -113,6 +124,19 @@ type VolatileFeedSource interface {
 	VolatileEmits() bool
 }
 
+// ResumableFeedSource is a FeedSource whose records live in a
+// replayable, monotonic offset space (offsets are dense and start
+// at 1). Feeds checkpoint the delivered offsets through the storage
+// write-ahead log, and a restarted feed — after a crash, a clean stop,
+// or partition failover — calls RunFrom with the last checkpoint so the
+// source resumes where durable storage left off. Records between the
+// checkpoint and the failure point are redelivered; last-wins upsert
+// makes that idempotent. This is the at-least-once delivery contract.
+type ResumableFeedSource interface {
+	FeedSource
+	RunFrom(ctx context.Context, from uint64, emit func(offset uint64, record []byte) error) error
+}
+
 // sourceAdapter bridges FeedSource to the internal adapter interface,
 // forwarding the volatility declaration when the source makes one.
 type sourceAdapter struct{ src FeedSource }
@@ -128,7 +152,20 @@ func (a sourceAdapter) VolatileEmits() bool {
 	return false
 }
 
+// resumableSourceAdapter additionally exposes the resume contract; a
+// separate type so a plain FeedSource never accidentally satisfies the
+// internal ResumableAdapter interface.
+type resumableSourceAdapter struct {
+	sourceAdapter
+	rsrc ResumableFeedSource
+}
+
+func (a resumableSourceAdapter) RunFrom(ctx context.Context, from uint64, emit func(uint64, []byte) error) error {
+	return a.rsrc.RunFrom(ctx, from, emit)
+}
+
 // RecordsSource replays a fixed record slice (bulk generators, tests).
+// It is resumable: record i has offset i+1.
 type RecordsSource struct {
 	// Records are emitted in order.
 	Records [][]byte
@@ -137,6 +174,11 @@ type RecordsSource struct {
 // Run implements FeedSource.
 func (s *RecordsSource) Run(ctx context.Context, emit func([]byte) error) error {
 	return (&core.GeneratorAdapter{Records: s.Records}).Run(ctx, emit)
+}
+
+// RunFrom implements ResumableFeedSource.
+func (s *RecordsSource) RunFrom(ctx context.Context, from uint64, emit func(uint64, []byte) error) error {
+	return (&core.GeneratorAdapter{Records: s.Records}).RunFrom(ctx, from, emit)
 }
 
 // ChannelSource emits records pushed into C; close the channel to end
@@ -159,6 +201,9 @@ func (c *Cluster) SetFeedSource(feed string, factory func(node int) (FeedSource,
 		src, err := factory(i)
 		if err != nil {
 			return nil, err
+		}
+		if rsrc, ok := src.(ResumableFeedSource); ok {
+			return resumableSourceAdapter{sourceAdapter{src}, rsrc}, nil
 		}
 		return sourceAdapter{src}, nil
 	})
@@ -261,6 +306,33 @@ type FeedStats struct {
 	// Running reports whether the pipeline is still live; false means
 	// the counters are the feed's final numbers.
 	Running bool
+
+	// BufferedFrames is the number of frames currently queued in intake
+	// rings (a gauge; zero once the feed has drained).
+	BufferedFrames int
+	// SpillBacklog is the number of frames currently parked in the
+	// on-disk spill lane awaiting re-admission (a gauge).
+	SpillBacklog int
+	// SpilledFrames / SpilledRecords count frames diverted through the
+	// disk spill lane under the "spill" congestion policy. Spilled data
+	// is not lost — it re-enters the pipeline in FIFO order.
+	SpilledFrames  int64
+	SpilledRecords int64
+	// ShedFrames / ShedRecords count data deliberately dropped under the
+	// "shed" congestion policy (exact counts).
+	ShedFrames  int64
+	ShedRecords int64
+	// SampledFrames / SampledRecords count data deliberately dropped
+	// under the "sample" congestion policy (exact counts; the kept
+	// fraction approximates the configured rate).
+	SampledFrames  int64
+	SampledRecords int64
+	// LastCheckpoint is the highest source offset acknowledged durable
+	// across the feed's adapter slots; a resumed feed replays from here.
+	LastCheckpoint uint64
+	// Resumptions counts automatic pipeline restarts after partition
+	// failover.
+	Resumptions int64
 }
 
 // Stats reports the feed's counters. A running feed reports live
@@ -277,14 +349,27 @@ func (f *Feed) Stats() (FeedStats, error) {
 		return FeedStats{}, fmt.Errorf("%w: %q never started", ErrFeedNotRunning, f.name)
 	}
 	s := inner.Stats()
-	return FeedStats{
-		Ingested:    s.Ingested.Load(),
-		Stored:      s.Stored.Load(),
-		ParseErrors: s.ParseErrors.Load(),
-		Invocations: s.Invocations.Load(),
-		MeanRefresh: s.RefreshPeriod(),
-		Running:     running,
-	}, nil
+	out := FeedStats{
+		Ingested:       s.Ingested.Load(),
+		Stored:         s.Stored.Load(),
+		ParseErrors:    s.ParseErrors.Load(),
+		Invocations:    s.Invocations.Load(),
+		MeanRefresh:    s.RefreshPeriod(),
+		Running:        running,
+		SpilledFrames:  s.SpilledFrames.Load(),
+		SpilledRecords: s.SpilledRecords.Load(),
+		ShedFrames:     s.ShedFrames.Load(),
+		ShedRecords:    s.ShedRecords.Load(),
+		SampledFrames:  s.SampledFrames.Load(),
+		SampledRecords: s.SampledRecords.Load(),
+		LastCheckpoint: s.LastCheckpoint.Load(),
+		Resumptions:    s.Resumptions.Load(),
+	}
+	if running {
+		out.BufferedFrames = inner.Buffered()
+		out.SpillBacklog = inner.SpillBacklog()
+	}
+	return out, nil
 }
 
 // DatasetLen returns the number of live records in a dataset.

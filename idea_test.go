@@ -26,9 +26,14 @@ func queryVals(t *testing.T, c *Cluster, q string, args ...any) []Value {
 
 // newTestCluster returns a fast 2-node cluster.
 func newTestCluster(t *testing.T) *Cluster {
+	return newTestClusterN(t, 2)
+}
+
+// newTestClusterN returns a fast cluster of the requested size.
+func newTestClusterN(t *testing.T, nodes int) *Cluster {
 	t.Helper()
 	c, err := NewCluster(Config{
-		Nodes:                   2,
+		Nodes:                   nodes,
 		DispatchOverheadPerNode: 1, // effectively zero but exercises the path
 		InvokeOverheadPerNode:   1,
 	})
@@ -293,6 +298,248 @@ func TestCallFunctionDirectly(t *testing.T) {
 	}
 	if _, err := c.CallFunction("nosuch"); err == nil {
 		t.Error("unknown function should fail")
+	}
+}
+
+// slowUDF delays every record, congesting a deliberately tiny intake
+// ring so congestion policies engage.
+type slowUDF struct{ delay time.Duration }
+
+func (u *slowUDF) Initialize(int) error { return nil }
+func (u *slowUDF) Evaluate(rec Value) (Value, error) {
+	time.Sleep(u.delay)
+	return rec, nil
+}
+
+// newCongestedCluster returns a cluster whose intake rings hold only two
+// frames, so a slow consumer congests them immediately.
+func newCongestedCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{
+		Nodes:                   nodes,
+		DispatchOverheadPerNode: 1,
+		InvokeOverheadPerNode:   1,
+		HolderCapacity:          2,
+		FrameCapacity:           8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFeedCongestionPoliciesViaPublicAPI(t *testing.T) {
+	const n = 1200
+	for _, policy := range []string{"spill", "shed"} {
+		t.Run(policy, func(t *testing.T) {
+			c := newCongestedCluster(t, 2)
+			c.MustExecute(fmt.Sprintf(`
+				CREATE TYPE ET AS OPEN { id: int64 };
+				CREATE DATASET Events(ET) PRIMARY KEY id;
+				CREATE FEED EventFeed WITH {
+					"adapter-name": "channel_adapter",
+					"batch-size": 32,
+					"congestion-policy": %q,
+					"checkpoint-every": 1
+				};
+				CONNECT FEED EventFeed TO DATASET Events APPLY FUNCTION slow;
+			`, policy))
+			if err := c.RegisterNativeUDF("slow", true, func() NativeUDF {
+				return &slowUDF{delay: 30 * time.Microsecond}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			records := make([][]byte, n)
+			for i := range records {
+				records[i] = []byte(fmt.Sprintf(`{"id":%d}`, i))
+			}
+			if err := c.SetFeedSource("EventFeed", func(int) (FeedSource, error) {
+				return &RecordsSource{Records: records}, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			feed := c.MustExecute(`START FEED EventFeed;`).Feeds()[0]
+			if err := feed.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			stats, err := feed.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			stored, _ := c.DatasetLen("Events")
+			switch policy {
+			case "spill":
+				// Loss-free: everything lands despite congestion.
+				if stats.Stored != n || stored != n {
+					t.Errorf("spill: stored=%d dataset=%d, want %d", stats.Stored, stored, n)
+				}
+				if stats.SpilledFrames == 0 || stats.SpilledRecords == 0 {
+					t.Errorf("spill: no spill activity (frames=%d records=%d)",
+						stats.SpilledFrames, stats.SpilledRecords)
+				}
+				if stats.ShedFrames != 0 || stats.SampledFrames != 0 {
+					t.Errorf("spill policy dropped data: shed=%d sampled=%d",
+						stats.ShedFrames, stats.SampledFrames)
+				}
+			case "shed":
+				// Exact loss accounting: kept + dropped covers the stream.
+				if stats.Stored+stats.ShedRecords != n {
+					t.Errorf("shed: stored=%d + shed=%d != %d",
+						stats.Stored, stats.ShedRecords, n)
+				}
+				if stats.ShedRecords == 0 {
+					t.Error("shed: congestion never engaged; tighten the test")
+				}
+			}
+			// The final checkpoint acknowledges the whole source range —
+			// shed frames included (dropping is a delivery decision).
+			if stats.LastCheckpoint != n {
+				t.Errorf("LastCheckpoint = %d, want %d", stats.LastCheckpoint, n)
+			}
+			if stats.BufferedFrames != 0 || stats.SpillBacklog != 0 {
+				t.Errorf("drained feed still buffering: frames=%d backlog=%d",
+					stats.BufferedFrames, stats.SpillBacklog)
+			}
+		})
+	}
+}
+
+func TestFeedOverloadedViaPublicAPI(t *testing.T) {
+	c := newCongestedCluster(t, 1)
+	c.MustExecute(`
+		CREATE TYPE ET AS OPEN { id: int64 };
+		CREATE DATASET Events(ET) PRIMARY KEY id;
+		CREATE FEED EventFeed WITH {
+			"adapter-name": "channel_adapter",
+			"batch-size": 16,
+			"congestion-policy": "spill",
+			"max-spilled-frames": 2
+		};
+		CONNECT FEED EventFeed TO DATASET Events APPLY FUNCTION slow;
+	`)
+	if err := c.RegisterNativeUDF("slow", true, func() NativeUDF {
+		return &slowUDF{delay: 2 * time.Millisecond}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	records := make([][]byte, 800)
+	for i := range records {
+		records[i] = []byte(fmt.Sprintf(`{"id":%d}`, i))
+	}
+	if err := c.SetFeedSource("EventFeed", func(int) (FeedSource, error) {
+		return &RecordsSource{Records: records}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	feed := c.MustExecute(`START FEED EventFeed;`).Feeds()[0]
+	if err := feed.Wait(); !errors.Is(err, ErrFeedOverloaded) {
+		t.Fatalf("Wait = %v, want ErrFeedOverloaded", err)
+	}
+}
+
+// pacedSource is a resumable source that emits on a fixed cadence so a
+// mid-stream KillNode reliably lands while ingestion is in flight.
+type pacedSource struct {
+	records [][]byte
+	delay   time.Duration
+}
+
+func (s *pacedSource) Run(ctx context.Context, emit func([]byte) error) error {
+	return s.RunFrom(ctx, 0, func(_ uint64, rec []byte) error { return emit(rec) })
+}
+
+func (s *pacedSource) RunFrom(ctx context.Context, from uint64, emit func(uint64, []byte) error) error {
+	for i := int(from); i < len(s.records); i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		time.Sleep(s.delay)
+		if err := emit(uint64(i+1), s.records[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestKillNodeFailoverViaPublicAPI(t *testing.T) {
+	const n = 1500
+	c := newTestClusterN(t, 3)
+	c.MustExecute(`
+		CREATE TYPE ET AS OPEN { id: int64 };
+		CREATE DATASET Events(ET) PRIMARY KEY id;
+		CREATE FEED EventFeed WITH {
+			"adapter-name": "channel_adapter",
+			"batch-size": 64,
+			"checkpoint-every": 1
+		};
+		CONNECT FEED EventFeed TO DATASET Events;
+	`)
+	records := make([][]byte, n)
+	for i := range records {
+		records[i] = []byte(fmt.Sprintf(`{"id":%d}`, i))
+	}
+	if err := c.SetFeedSource("EventFeed", func(int) (FeedSource, error) {
+		return &pacedSource{records: records, delay: 100 * time.Microsecond}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	feed := c.MustExecute(`START FEED EventFeed;`).Feeds()[0]
+
+	// Kill a node once ingestion is demonstrably under way.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if got, _ := c.DatasetLen("Events"); got >= 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("feed never reached 100 stored records")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.KillNode(2)
+	if c.NodeAlive(2) {
+		t.Fatal("killed node reports alive")
+	}
+
+	// The doomed pipeline's Wait surfaces ErrPartitionDown; the manager
+	// restarts on survivors, so by-name Wait eventually resolves the
+	// successor and returns nil. ErrFeedNotRunning covers the brief
+	// re-registration window mid-failover.
+	for {
+		err := feed.Wait()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrPartitionDown) && !errors.Is(err, ErrFeedNotRunning) {
+			t.Fatalf("Wait = %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("feed never finished after failover: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// At-least-once + idempotent upserts: the survivors replay from the
+	// checkpoint and the dataset converges on exactly the source stream.
+	for {
+		if got, _ := c.DatasetLen("Events"); got == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			got, _ := c.DatasetLen("Events")
+			t.Fatalf("dataset len = %d, want %d", got, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stats, err := feed.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumptions < 1 {
+		t.Errorf("Resumptions = %d, want >= 1", stats.Resumptions)
+	}
+	if stats.LastCheckpoint != n {
+		t.Errorf("LastCheckpoint = %d, want %d", stats.LastCheckpoint, n)
 	}
 }
 

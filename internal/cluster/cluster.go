@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -62,13 +63,26 @@ func DefaultTuning() Tuning {
 	}
 }
 
+// ErrPartitionDown reports an operation routed to a node whose
+// partition has been killed. Feeds translate it into failover: the
+// manager restarts intake on the surviving nodes and replays from the
+// last checkpoint.
+var ErrPartitionDown = errors.New("idea: partition down")
+
 // NodeController is one simulated worker node.
 type NodeController struct {
 	// ID is the node number (0-based).
 	ID int
 	// Holders is the node-local partition-holder registry.
 	Holders *hyracks.HolderManager
+
+	// down is set by KillNode; a dead node's holders are poisoned and
+	// feeds must not place new work on it.
+	down atomic.Bool
 }
+
+// Alive reports whether the node has not been killed.
+func (n *NodeController) Alive() bool { return !n.down.Load() }
 
 // Cluster is the whole simulated deployment and doubles as the query
 // catalog (it is the metadata node).
@@ -115,6 +129,36 @@ func (c *Cluster) NumNodes() int { return len(c.nodes) }
 
 // Node returns node i.
 func (c *Cluster) Node(i int) *NodeController { return c.nodes[i] }
+
+// KillNode simulates the failure of node i's controller process: the
+// node is marked dead and every partition holder registered on it is
+// poisoned with ErrPartitionDown, so jobs touching its endpoints fail
+// fast instead of wedging. The node's storage partition is NOT
+// destroyed — like a real deployment's shared or replicated storage,
+// the data outlives the compute node, and surviving nodes keep writing
+// to all dataset partitions (see docs/ARCHITECTURE.md on this
+// simulation substitution). Idempotent.
+func (c *Cluster) KillNode(i int) {
+	n := c.nodes[i]
+	if n.down.Swap(true) {
+		return
+	}
+	n.Holders.FailAll(ErrPartitionDown)
+}
+
+// NodeAlive reports whether node i is still up.
+func (c *Cluster) NodeAlive(i int) bool { return c.nodes[i].Alive() }
+
+// LiveNodes returns the IDs of the nodes still up, ascending.
+func (c *Cluster) LiveNodes() []int {
+	live := make([]int, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.Alive() {
+			live = append(live, n.ID)
+		}
+	}
+	return live
+}
 
 // Tuning returns the cluster's tuning.
 func (c *Cluster) Tuning() Tuning { return c.tuning }

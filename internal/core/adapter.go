@@ -52,9 +52,24 @@ type VolatileAdapter interface {
 	VolatileEmits() bool
 }
 
+// ResumableAdapter is an Adapter whose source has a replayable,
+// monotonic offset space — the contract behind at-least-once delivery.
+// Offsets are dense and start at 1 (0 means "from the beginning").
+// RunFrom emits every record with offset > from, in order, tagging each
+// emit with its offset; the feed records (feed, adapter, offset)
+// checkpoints through the partition WAL and restarts the adapter from
+// the last checkpoint after a crash or failover. Redelivery of records
+// in (checkpoint, lastEmitted] is expected and absorbed by last-wins
+// upsert.
+type ResumableAdapter interface {
+	Adapter
+	RunFrom(ctx context.Context, from uint64, emit func(off uint64, raw []byte) error) error
+}
+
 // GeneratorAdapter replays pre-serialized records — the synthetic
 // firehose used by benchmarks (substituting for the paper's Twitter
-// feed; see docs/ARCHITECTURE.md).
+// feed; see docs/ARCHITECTURE.md). It is resumable: record i has
+// offset i+1.
 type GeneratorAdapter struct {
 	// Records are emitted in order.
 	Records [][]byte
@@ -62,13 +77,18 @@ type GeneratorAdapter struct {
 
 // Run implements Adapter.
 func (g *GeneratorAdapter) Run(ctx context.Context, emit func([]byte) error) error {
-	for _, rec := range g.Records {
+	return g.RunFrom(ctx, 0, func(_ uint64, raw []byte) error { return emit(raw) })
+}
+
+// RunFrom implements ResumableAdapter.
+func (g *GeneratorAdapter) RunFrom(ctx context.Context, from uint64, emit func(uint64, []byte) error) error {
+	for i := int(from); i < len(g.Records); i++ {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		default:
 		}
-		if err := emit(rec); err != nil {
+		if err := emit(uint64(i)+1, g.Records[i]); err != nil {
 			return err
 		}
 	}

@@ -30,7 +30,9 @@ type Config struct {
 	// across the cluster (the paper's 1X = 420).
 	BatchSize int
 	// IntakeNodes lists the nodes running adapters (default node 0; all
-	// nodes = the paper's "balanced" variants).
+	// nodes = the paper's "balanced" variants). The slice index is the
+	// adapter's *slot*: checkpoints are scoped per slot, and failover
+	// re-places a dead slot's node while preserving the slot identity.
 	IntakeNodes []int
 	// NewAdapter builds the adapter for intake slot i (0 ≤ i <
 	// len(IntakeNodes)).
@@ -40,6 +42,30 @@ type Config struct {
 	DisableIndexes bool
 	// Natives resolves native ("Java") UDFs.
 	Natives *udf.Registry
+
+	// Congestion selects the intake overflow policy: "spill" (default;
+	// loss-free, bounded memory), "shed", "sample", or "backpressure"
+	// (the pre-robustness behaviour: block the adapter).
+	Congestion string
+	// SampleRate is the fraction of congested arrivals the "sample"
+	// policy keeps (default 0.1).
+	SampleRate float64
+	// MaxSpilledFrames bounds the spill lane per intake partition
+	// (default 4096 frames); exhausting it fails the feed with
+	// ErrFeedOverloaded.
+	MaxSpilledFrames int
+	// CheckpointEvery is how many computing-job invocations pass between
+	// checkpoints (default 1: checkpoint after every stored batch).
+	CheckpointEvery int
+	// Nodes lists the cluster nodes this pipeline runs on (default all).
+	// Failover restarts pass the surviving nodes here; every dataset
+	// partition stays writable via the surviving nodes (shared-storage
+	// model, see docs/ARCHITECTURE.md).
+	Nodes []int
+	// Stats, when non-nil, is the counter block to use — failover
+	// restarts hand the previous incarnation's block over so cumulative
+	// counters survive the hop.
+	Stats *Stats
 
 	// RecompilePerBatch disables the predeployed-job optimization: every
 	// invocation re-runs UDF compilation and pays full dispatch overhead
@@ -51,7 +77,9 @@ type Config struct {
 	FusedInsert bool
 }
 
-// Stats are live feed counters.
+// Stats are live feed counters. One block can outlive a single pipeline
+// incarnation: failover restarts share it, so the counters are
+// cumulative across partition failures.
 type Stats struct {
 	// Ingested counts records consumed by computing jobs.
 	Ingested atomic.Int64
@@ -63,6 +91,24 @@ type Stats struct {
 	Invocations atomic.Int64
 	// BatchNanos accumulates computing-job wall time (refresh periods).
 	BatchNanos atomic.Int64
+
+	// SpilledFrames/SpilledRecords count intake overflow diverted to the
+	// disk spill lane (Spill policy; nothing is lost).
+	SpilledFrames  atomic.Int64
+	SpilledRecords atomic.Int64
+	// ShedFrames/ShedRecords count intake overflow dropped by the Shed
+	// policy — exact loss accounting.
+	ShedFrames  atomic.Int64
+	ShedRecords atomic.Int64
+	// SampledFrames/SampledRecords count intake overflow dropped by the
+	// Sample policy (the kept fraction is not counted here).
+	SampledFrames  atomic.Int64
+	SampledRecords atomic.Int64
+	// LastCheckpoint is the highest source offset durably checkpointed
+	// (across adapter slots).
+	LastCheckpoint atomic.Uint64
+	// Resumptions counts failover restarts of the pipeline.
+	Resumptions atomic.Int64
 }
 
 // RefreshPeriod returns the mean computing-job duration — the paper's
@@ -75,6 +121,11 @@ func (s *Stats) RefreshPeriod() time.Duration {
 	return time.Duration(s.BatchNanos.Load() / inv)
 }
 
+// defaultMaxSpilledFrames bounds the spill lane when the config does
+// not: at the default 128-record frames this is ~0.5M records of
+// overflow per intake partition before the feed declares overload.
+const defaultMaxSpilledFrames = 4096
+
 // Feed is a running dynamic-framework feed.
 type Feed struct {
 	cfg     Config
@@ -85,8 +136,13 @@ type Feed struct {
 	plan   *query.EnrichPlan // SQL++ attachment
 	native *udf.Native       // native attachment
 
+	// nodes are the cluster nodes this incarnation runs on (cfg.Nodes or
+	// all); pipeline partition p lives on cluster node nodes[p].
+	nodes []int
+
 	intakeHolders  []*hyracks.PassiveHolder
 	storageHolders []*hyracks.ActiveHolder
+	spillers       []*lsm.SpillQueue // per intake partition; nil entries when not spilling
 	intakeJob      *hyracks.Job
 	storageJob     *hyracks.Job
 
@@ -102,7 +158,16 @@ type Feed struct {
 	computeSpec *hyracks.JobSpec
 	curInv      atomic.Pointer[invocation]
 
-	eof []atomic.Bool // per node: intake holder fully drained
+	eof []atomic.Bool // per pipeline partition: intake holder fully drained
+
+	// At-least-once machinery: trackers[slot] accumulates delivered
+	// offset ranges for adapter slot `slot`; lastCkpt[slot] is the last
+	// watermark written through the partition WALs (AFM goroutine only);
+	// sunk counts records pushed into storage holders, the barrier
+	// target a checkpoint waits on.
+	trackers []*offsetTracker
+	lastCkpt []uint64
+	sunk     atomic.Int64
 
 	jobCtx    context.Context
 	jobCancel context.CancelFunc
@@ -113,13 +178,39 @@ type Feed struct {
 	frameCap  int
 	quota     int
 
-	stats   Stats
+	stats   *Stats
 	errOnce sync.Once
 	feedErr error
+
+	waitOnce sync.Once
+	waitErr  error
 }
 
 // Stats returns the feed's counters.
-func (f *Feed) Stats() *Stats { return &f.stats }
+func (f *Feed) Stats() *Stats { return f.stats }
+
+// Buffered reports the frames currently ringed in intake memory — the
+// bounded-intake gauge (never exceeds partitions × ring capacity).
+func (f *Feed) Buffered() int {
+	frames := 0
+	for _, h := range f.intakeHolders {
+		frames += h.Pending()
+	}
+	return frames
+}
+
+// SpillBacklog reports the frames currently parked in spill lanes.
+func (f *Feed) SpillBacklog() int {
+	frames := 0
+	for _, h := range f.intakeHolders {
+		frames += h.SpilledPending()
+	}
+	return frames
+}
+
+// Config returns the feed's configuration (the manager's failover path
+// rebuilds a successor config from it).
+func (f *Feed) Config() Config { return f.cfg }
 
 // resolveFunction splits the attached function into a native UDF or a
 // compiled SQL++ enrichment plan.
@@ -156,6 +247,98 @@ func resolveFunction(c *cluster.Cluster, cfg Config) (*query.EnrichPlan, *udf.Na
 	return plan, nil, nil
 }
 
+// congestionOptions translates the config policy into holder options
+// for intake partition p, creating the spill lane when needed.
+func (f *Feed) congestionOptions(p int) (hyracks.HolderOptions, error) {
+	tuning := f.cluster.Tuning()
+	opts := hyracks.HolderOptions{Capacity: tuning.HolderCapacity}
+	policy := f.cfg.Congestion
+	switch policy {
+	case "", "spill":
+		maxSpill := f.cfg.MaxSpilledFrames
+		if maxSpill <= 0 {
+			maxSpill = defaultMaxSpilledFrames
+		}
+		sq, err := f.newSpillQueue(p)
+		if err != nil {
+			return opts, err
+		}
+		f.spillers[p] = sq
+		opts.Policy = hyracks.Spill
+		opts.Spiller = sq
+		opts.MaxSpilledFrames = maxSpill
+		opts.Overloaded = ErrFeedOverloaded
+		opts.OnSpill = func(records int) {
+			f.stats.SpilledFrames.Add(1)
+			f.stats.SpilledRecords.Add(int64(records))
+		}
+	case "shed":
+		opts.Policy = hyracks.Shed
+		opts.OnDrop = f.dropFrame
+	case "sample":
+		rate := f.cfg.SampleRate
+		if rate <= 0 {
+			rate = 0.1
+		}
+		opts.Policy = hyracks.Sample
+		opts.SampleRate = rate
+		opts.OnDrop = f.dropFrame
+	case "backpressure":
+		opts.Policy = hyracks.Backpressure
+	default:
+		return opts, fmt.Errorf("core: unknown congestion policy %q", policy)
+	}
+	return opts, nil
+}
+
+// dropFrame is the Shed/Sample drop path: count exactly what was lost,
+// report the offsets as handled (data dropped by policy must not hold
+// the resume watermark back), and recycle.
+func (f *Feed) dropFrame(fr hyracks.Frame, sampled bool) {
+	n := int64(fr.Len())
+	if sampled {
+		f.stats.SampledFrames.Add(1)
+		f.stats.SampledRecords.Add(n)
+	} else {
+		f.stats.ShedFrames.Add(1)
+		f.stats.ShedRecords.Add(n)
+	}
+	f.markDelivered(fr)
+	hyracks.RecycleFrame(fr)
+}
+
+// markDelivered reports a frame's offset range to its adapter slot's
+// tracker (no-op for frames without provenance).
+func (f *Feed) markDelivered(fr hyracks.Frame) {
+	if fr.FirstOff == 0 || fr.Adapter >= len(f.trackers) {
+		return
+	}
+	f.trackers[fr.Adapter].mark(fr.FirstOff, fr.LastOff)
+}
+
+// newSpillQueue builds the disk lane for intake partition p through the
+// same FS seam as the storage layer: the tuning's injected FS (crash
+// tests), the real filesystem under DataDir, or a private MemFS for
+// fully in-memory clusters (where spilling buys bounded *feed* memory,
+// not durability — which spill never promises anyway).
+func (f *Feed) newSpillQueue(p int) (*lsm.SpillQueue, error) {
+	tuning := f.cluster.Tuning()
+	fsys := tuning.StorageFS
+	base := tuning.DataDir
+	if fsys == nil {
+		if base != "" {
+			fsys = lsm.NewOSFS()
+		} else {
+			fsys = lsm.NewMemFS()
+		}
+	}
+	dir := ".spill/" + f.cfg.Name
+	if base != "" {
+		dir = base + "/" + dir
+	}
+	return lsm.NewSpillQueue(fsys, dir, fmt.Sprintf("p%03d.spill", p))
+}
+
 // Start launches the full dynamic pipeline: storage job, intake job,
 // predeployed computing job, and the Active Feed Manager loop.
 func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
@@ -168,6 +351,17 @@ func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
 	if cfg.NewAdapter == nil {
 		return nil, errors.New("core: feed needs an adapter factory")
 	}
+	if len(cfg.Nodes) == 0 {
+		cfg.Nodes = make([]int, c.NumNodes())
+		for i := range cfg.Nodes {
+			cfg.Nodes[i] = i
+		}
+	}
+	for _, node := range cfg.Nodes {
+		if !c.NodeAlive(node) {
+			return nil, fmt.Errorf("core: node %d: %w", node, cluster.ErrPartitionDown)
+		}
+	}
 	ds, ok := c.Dataset(cfg.Dataset)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown dataset %q", cfg.Dataset)
@@ -177,8 +371,12 @@ func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
 		return nil, err
 	}
 
-	n := c.NumNodes()
+	n := len(cfg.Nodes)
 	tuning := c.Tuning()
+	stats := cfg.Stats
+	if stats == nil {
+		stats = &Stats{}
+	}
 	jobCtx, jobCancel := context.WithCancel(ctx)
 	adaptCtx, adaptStop := context.WithCancel(jobCtx)
 	f := &Feed{
@@ -188,6 +386,7 @@ func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
 		dt:        ds.Datatype(),
 		plan:      plan,
 		native:    native,
+		nodes:     cfg.Nodes,
 		jobCtx:    jobCtx,
 		jobCancel: jobCancel,
 		adaptCtx:  adaptCtx,
@@ -196,6 +395,8 @@ func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
 		computeID: cfg.Name + "-compute",
 		frameCap:  tuning.FrameCapacity,
 		eof:       make([]atomic.Bool, n),
+		stats:     stats,
+		spillers:  make([]*lsm.SpillQueue, n),
 	}
 	f.quota = cfg.BatchSize / n
 	if f.quota < 1 {
@@ -206,15 +407,42 @@ func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
 		f.parsers[p] = adm.NewParser()
 	}
 
-	// Partition holders, registered with each node's manager.
+	// Resume state: one tracker per adapter slot, seeded from the last
+	// durable checkpoint so the watermark never regresses across
+	// restarts.
+	f.trackers = make([]*offsetTracker, len(cfg.IntakeNodes))
+	f.lastCkpt = make([]uint64, len(cfg.IntakeNodes))
+	for i := range f.trackers {
+		f.trackers[i] = &offsetTracker{}
+		if w := ds.Checkpoint(ckptScope(cfg.Name, i)); w > 0 {
+			f.trackers[i].seed(w)
+			f.lastCkpt[i] = w
+			if w > stats.LastCheckpoint.Load() {
+				stats.LastCheckpoint.Store(w)
+			}
+		}
+	}
+
+	// Partition holders, registered with each node's manager. Intake
+	// holders carry the feed's congestion policy (bounded ring + spill
+	// lane); storage holders keep plain backpressure — that is the
+	// signal the AFM's batching responds to.
 	for p := 0; p < n; p++ {
-		ih := hyracks.NewPassiveHolder(tuning.HolderCapacity)
-		sh := hyracks.NewActiveHolder(tuning.HolderCapacity)
-		if err := c.Node(p).Holders.RegisterPassive(cfg.Name, ih); err != nil {
+		opts, err := f.congestionOptions(p)
+		if err != nil {
+			f.teardownHolders()
 			jobCancel()
 			return nil, err
 		}
-		if err := c.Node(p).Holders.RegisterActive(cfg.Name, sh); err != nil {
+		ih := hyracks.NewPassiveHolderOpts(opts)
+		sh := hyracks.NewActiveHolder(tuning.HolderCapacity)
+		if err := c.Node(f.nodes[p]).Holders.RegisterPassive(cfg.Name, ih); err != nil {
+			f.teardownHolders()
+			jobCancel()
+			return nil, err
+		}
+		if err := c.Node(f.nodes[p]).Holders.RegisterActive(cfg.Name, sh); err != nil {
+			f.teardownHolders()
 			jobCancel()
 			return nil, err
 		}
@@ -245,8 +473,10 @@ func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
 		return nil, err
 	}
 
-	// Watchdog: a storage-job failure must tear the feed down, or the
-	// AFM would block pushing batches into dead storage holders.
+	// Watchdogs: a storage-job failure must tear the feed down, or the
+	// AFM would block pushing batches into dead storage holders; an
+	// intake-job failure (spill lane exhausted, partition down) must
+	// too, or the AFM would wait forever for frames that cannot come.
 	if f.storageJob != nil {
 		go func() {
 			if werr := f.storageJob.Wait(); werr != nil {
@@ -254,6 +484,11 @@ func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
 			}
 		}()
 	}
+	go func() {
+		if werr := f.intakeJob.Wait(); werr != nil {
+			f.failAsync(werr)
+		}
+	}()
 
 	// Predeploy the computing job template, then let the AFM invoke it
 	// per batch (unless the predeploy ablation is off). The spec
@@ -273,7 +508,8 @@ func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
 }
 
 // buildIntakeSpec assembles adapter sources → round-robin → passive
-// intake holders.
+// intake holders. Resumable adapters run from their slot's recovered
+// checkpoint and stamp offset provenance onto every frame.
 func (f *Feed) buildIntakeSpec() (*hyracks.JobSpec, error) {
 	spec := hyracks.NewJobSpec()
 	spec.QueueCapacity = f.cluster.Tuning().HolderCapacity
@@ -310,7 +546,20 @@ func (f *Feed) buildIntakeSpec() (*hyracks.JobSpec, error) {
 				if v, ok := adapter.(VolatileAdapter); ok && v.VolatileEmits() {
 					emit = b.AddRawCopy
 				}
-				err := adapter.Run(f.adaptCtx, emit)
+				var err error
+				if ra, ok := adapter.(ResumableAdapter); ok {
+					// Resume past everything already checkpointed; each
+					// emit notes its offset so the frame carries the
+					// provenance the checkpointer needs.
+					b.SetAdapter(p)
+					from := f.trackers[p].cut()
+					err = ra.RunFrom(f.adaptCtx, from, func(off uint64, raw []byte) error {
+						b.NoteOffset(off)
+						return emit(raw)
+					})
+				} else {
+					err = adapter.Run(f.adaptCtx, emit)
+				}
 				if err != nil && !(errors.Is(err, context.Canceled) && f.adaptCtx.Err() != nil) {
 					return err
 				}
@@ -320,7 +569,8 @@ func (f *Feed) buildIntakeSpec() (*hyracks.JobSpec, error) {
 	})
 	holderOp := spec.AddOperator(&hyracks.Descriptor{
 		Name:        "intake-partition-holder",
-		Parallelism: f.cluster.NumNodes(),
+		Parallelism: len(f.nodes),
+		NodeOf:      func(p int) int { return f.nodes[p] },
 		NewPipe: func(p int) (hyracks.Pipe, error) {
 			return f.intakeHolders[p], nil
 		},
@@ -330,13 +580,18 @@ func (f *Feed) buildIntakeSpec() (*hyracks.JobSpec, error) {
 }
 
 // buildStorageSpec assembles active storage holders → hash partitioner →
-// LSM partition writers.
+// LSM partition writers. Holder parallelism follows the live nodes;
+// writer parallelism always equals the dataset's partition count so
+// primary-key routing is stable across failover (dead nodes' partitions
+// stay writable through the shared-storage model — surviving nodes host
+// their writers).
 func (f *Feed) buildStorageSpec() *hyracks.JobSpec {
 	spec := hyracks.NewJobSpec()
 	spec.QueueCapacity = f.cluster.Tuning().HolderCapacity
 	holderOp := spec.AddOperator(&hyracks.Descriptor{
 		Name:        "storage-partition-holder",
-		Parallelism: f.cluster.NumNodes(),
+		Parallelism: len(f.nodes),
+		NodeOf:      func(p int) int { return f.nodes[p] },
 		NewSource: func(p int) (hyracks.Source, error) {
 			return f.storageHolders[p], nil
 		},
@@ -344,7 +599,8 @@ func (f *Feed) buildStorageSpec() *hyracks.JobSpec {
 	pk := f.ds.PrimaryKey()
 	writerOp := spec.AddOperator(&hyracks.Descriptor{
 		Name:        "storage-partition-writer",
-		Parallelism: f.cluster.NumNodes(),
+		Parallelism: f.ds.NumPartitions(),
+		NodeOf:      func(p int) int { return f.nodes[p%len(f.nodes)] },
 		NewPipe: func(p int) (hyracks.Pipe, error) {
 			// Each frame lands in the memtable as one batch operation
 			// (one WAL append+commit, one lock); see newStorageWriter.
@@ -389,7 +645,7 @@ func (f *Feed) newInvocation() (*invocation, error) {
 		inv.prepared = pe
 	}
 	if f.native != nil {
-		inv.instances = make([]udf.Instance, f.cluster.NumNodes())
+		inv.instances = make([]udf.Instance, len(f.nodes))
 		for p := range inv.instances {
 			inst := f.native.New()
 			if err := inst.Initialize(p); err != nil {
@@ -402,20 +658,22 @@ func (f *Feed) newInvocation() (*invocation, error) {
 }
 
 // buildComputeSpec assembles the computing job: collector+parser → UDF
-// evaluator → feed pipeline sink, one instance per node, no cross-node
-// exchange (the storage job's hash partitioner does the routing). The
-// spec is a reusable skeleton: operator factories resolve the current
-// per-batch state through f.curInv when an invocation instantiates
-// them, so the predeployed path builds it once and reuses it for every
-// batch.
+// evaluator → feed pipeline sink, one instance per live node, no
+// cross-node exchange (the storage job's hash partitioner does the
+// routing). The spec is a reusable skeleton: operator factories resolve
+// the current per-batch state through f.curInv when an invocation
+// instantiates them, so the predeployed path builds it once and reuses
+// it for every batch.
 func (f *Feed) buildComputeSpec() *hyracks.JobSpec {
 	spec := hyracks.NewJobSpec()
 	spec.QueueCapacity = f.cluster.Tuning().HolderCapacity
-	n := f.cluster.NumNodes()
+	n := len(f.nodes)
+	nodeOf := func(p int) int { return f.nodes[p] }
 
 	collectorOp := spec.AddOperator(&hyracks.Descriptor{
 		Name:        "collector-parser",
 		Parallelism: n,
+		NodeOf:      nodeOf,
 		NewSource: func(p int) (hyracks.Source, error) {
 			inv := f.curInv.Load()
 			return hyracks.SourceFunc(func(tc *hyracks.TaskContext, out hyracks.Writer) error {
@@ -462,6 +720,12 @@ func (f *Feed) buildComputeSpec() *hyracks.JobSpec {
 					return nil
 				}
 				for _, fr := range frames {
+					// Collection is the delivery point for offset
+					// accounting: once this invocation finishes, every
+					// record collected here has been pushed to storage
+					// holders, and the checkpoint barrier (stored >=
+					// sunk) covers the rest of the path.
+					f.markDelivered(fr)
 					for _, raw := range fr.Raw {
 						n := len(spine)
 						var perr error
@@ -523,6 +787,7 @@ func (f *Feed) buildComputeSpec() *hyracks.JobSpec {
 	evalOp := spec.AddOperator(&hyracks.Descriptor{
 		Name:        "udf-evaluator",
 		Parallelism: n,
+		NodeOf:      nodeOf,
 		NewPipe: func(p int) (hyracks.Pipe, error) {
 			inv := f.curInv.Load()
 			return &hyracks.MapPipe{Fn: func(rec adm.Value) (adm.Value, bool, error) {
@@ -554,7 +819,8 @@ func (f *Feed) buildComputeSpec() *hyracks.JobSpec {
 		pk := f.ds.PrimaryKey()
 		writerOp := spec.AddOperator(&hyracks.Descriptor{
 			Name:        "fused-storage-writer",
-			Parallelism: n,
+			Parallelism: f.ds.NumPartitions(),
+			NodeOf:      func(p int) int { return f.nodes[p%len(f.nodes)] },
 			NewPipe: func(p int) (hyracks.Pipe, error) {
 				return newStorageWriter(f.ds.Partition(p), pk, &f.stats.Stored), nil
 			},
@@ -568,9 +834,15 @@ func (f *Feed) buildComputeSpec() *hyracks.JobSpec {
 	sinkOp := spec.AddOperator(&hyracks.Descriptor{
 		Name:        "feed-pipeline-sink",
 		Parallelism: n,
+		NodeOf:      nodeOf,
 		NewPipe: func(p int) (hyracks.Pipe, error) {
 			return &hyracks.SinkPipe{
 				Fn: func(tc *hyracks.TaskContext, fr hyracks.Frame) error {
+					// Count before the push: once pushed the frame is
+					// owned downstream, and the checkpoint barrier
+					// needs sunk >= every record the sink ever handed
+					// to storage.
+					f.sunk.Add(int64(fr.Len()))
 					return f.storageHolders[p].Push(tc.Ctx, fr)
 				},
 			}, nil
@@ -581,10 +853,15 @@ func (f *Feed) buildComputeSpec() *hyracks.JobSpec {
 }
 
 // runAFM is the Active Feed Manager loop: keep invoking computing jobs
-// while any intake partition still has data, then shut the storage job
-// down.
+// while any intake partition still has data, checkpointing delivered
+// offsets between batches, then shut the storage job down.
 func (f *Feed) runAFM() {
 	defer close(f.afmDone)
+	ckptEvery := f.cfg.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = 1
+	}
+	sinceCkpt := 0
 	for f.jobCtx.Err() == nil && !f.allEOF() {
 		start := time.Now()
 		inv, err := f.newInvocation()
@@ -612,9 +889,64 @@ func (f *Feed) runAFM() {
 		f.stats.Invocations.Add(1)
 		f.stats.BatchNanos.Add(time.Since(start).Nanoseconds())
 		f.stats.Ingested.Add(inv.records.Load())
+		if sinceCkpt++; sinceCkpt >= ckptEvery {
+			sinceCkpt = 0
+			f.checkpoint()
+		}
 	}
 	for _, sh := range f.storageHolders {
 		sh.CloseInput()
+	}
+}
+
+// storageBarrier waits until every record the sinks handed to storage
+// holders has been written (stored >= sunk) — the ordering that makes a
+// checkpoint truthful: offsets at or below the watermark were collected
+// in finished invocations, so their records are counted in sunk, and
+// the barrier sees them through the partition WAL commits. Returns
+// false when the feed is going down instead.
+func (f *Feed) storageBarrier() bool {
+	target := f.sunk.Load()
+	for f.stats.Stored.Load() < target {
+		if f.jobCtx.Err() != nil {
+			return false
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return true
+}
+
+// checkpoint durably records each adapter slot's delivery watermark
+// through the partition WALs (every partition, so any surviving subset
+// can recover it). Called from the AFM between invocations and once
+// more after a clean drain; never concurrently with itself.
+func (f *Feed) checkpoint() {
+	dirty := false
+	marks := make([]uint64, len(f.trackers))
+	for i, t := range f.trackers {
+		marks[i] = t.cut()
+		if marks[i] > f.lastCkpt[i] {
+			dirty = true
+		}
+	}
+	if !dirty {
+		return
+	}
+	if !f.storageBarrier() {
+		return
+	}
+	for i, w := range marks {
+		if w <= f.lastCkpt[i] {
+			continue
+		}
+		if err := f.ds.PutCheckpoint(ckptScope(f.cfg.Name, i), w); err != nil {
+			f.fail(err)
+			return
+		}
+		f.lastCkpt[i] = w
+		if w > f.stats.LastCheckpoint.Load() {
+			f.stats.LastCheckpoint.Store(w)
+		}
 	}
 }
 
@@ -636,7 +968,7 @@ func (f *Feed) fail(err error) {
 }
 
 // failAsync records a failure from outside the AFM goroutine (the
-// storage watchdog).
+// storage and intake watchdogs).
 func (f *Feed) failAsync(err error) { f.fail(err) }
 
 // Stop gracefully ends the feed: adapters stop taking new data, the
@@ -645,13 +977,26 @@ func (f *Feed) Stop() { f.adaptStop() }
 
 // Wait blocks until the whole pipeline has drained and returns the first
 // error. For generator-backed feeds it returns once all generated data
-// is stored; socket/channel feeds need Stop first.
+// is stored; socket/channel feeds need Stop first. Safe to call from
+// multiple goroutines (the manager's failover watcher and StopFeed both
+// wait); every caller gets the same result.
 func (f *Feed) Wait() error {
+	f.waitOnce.Do(func() { f.waitErr = f.waitInner() })
+	return f.waitErr
+}
+
+func (f *Feed) waitInner() error {
 	intakeErr := f.intakeJob.Wait()
 	<-f.afmDone
 	var storageErr error
 	if f.storageJob != nil {
 		storageErr = f.storageJob.Wait()
+	}
+	// Final checkpoint: after a clean drain everything sunk is stored,
+	// so the barrier is already satisfied and the last watermark covers
+	// the whole stream.
+	if f.feedErr == nil && intakeErr == nil && storageErr == nil {
+		f.checkpoint()
 	}
 	f.teardownHolders()
 	f.cluster.Undeploy(f.computeID)
@@ -667,7 +1012,17 @@ func (f *Feed) Wait() error {
 }
 
 func (f *Feed) teardownHolders() {
-	for p := 0; p < f.cluster.NumNodes(); p++ {
-		f.cluster.Node(p).Holders.Unregister(f.cfg.Name)
+	for _, node := range f.nodes {
+		f.cluster.Node(node).Holders.Unregister(f.cfg.Name)
+	}
+	f.closeSpillers()
+}
+
+func (f *Feed) closeSpillers() {
+	for i, sq := range f.spillers {
+		if sq != nil {
+			sq.Close()
+			f.spillers[i] = nil
+		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -34,6 +35,39 @@ type managedFeed struct {
 	// final statistics stay readable (a stopped feed's counters are the
 	// numbers operators actually want).
 	last *Feed
+	// failover enables automatic restart on ErrPartitionDown (WITH
+	// {"failover": false} opts out); ctx is the StartFeed context the
+	// failover restart reuses.
+	failover bool
+	ctx      context.Context
+}
+
+// feedConfig builds the Config the WITH-clause describes. Caller holds
+// m.mu.
+func (mf *managedFeed) feedConfig(natives *udf.Registry) Config {
+	cfg := Config{
+		Name:       mf.name,
+		Dataset:    mf.dataset,
+		Function:   mf.fn,
+		NewAdapter: mf.adapter,
+		Natives:    natives,
+	}
+	if bs, ok := mf.config.Field("batch-size").AsInt(); ok {
+		cfg.BatchSize = int(bs)
+	}
+	if s := mf.config.Field("congestion-policy").StringVal(); s != "" {
+		cfg.Congestion = s
+	}
+	if r, ok := mf.config.Field("sample-rate").AsDouble(); ok {
+		cfg.SampleRate = r
+	}
+	if n, ok := mf.config.Field("checkpoint-every").AsInt(); ok {
+		cfg.CheckpointEvery = int(n)
+	}
+	if n, ok := mf.config.Field("max-spilled-frames").AsInt(); ok {
+		cfg.MaxSpilledFrames = int(n)
+	}
+	return cfg
 }
 
 // NewManager returns a Manager bound to the cluster.
@@ -121,16 +155,12 @@ func (m *Manager) StartFeed(ctx context.Context, name string) (*Feed, error) {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("core: feed %q has no adapter", name)
 	}
-	cfg := Config{
-		Name:       name,
-		Dataset:    mf.dataset,
-		Function:   mf.fn,
-		NewAdapter: mf.adapter,
-		Natives:    m.Natives,
+	cfg := mf.feedConfig(m.Natives)
+	mf.failover = true
+	if v := mf.config.Field("failover"); v.Kind() == adm.KindBoolean {
+		mf.failover = v.BoolVal()
 	}
-	if bs, ok := mf.config.Field("batch-size").AsInt(); ok {
-		cfg.BatchSize = int(bs)
-	}
+	mf.ctx = ctx
 	m.mu.Unlock()
 
 	f, err := Start(ctx, m.cluster, cfg)
@@ -141,7 +171,76 @@ func (m *Manager) StartFeed(ctx context.Context, name string) (*Feed, error) {
 	mf.running = f
 	mf.last = f
 	m.mu.Unlock()
+	go m.watch(mf, f)
 	return f, nil
+}
+
+// watch is the failover watcher for one pipeline incarnation: when the
+// pipeline dies of a killed partition, restart it on the surviving
+// nodes — same slot identities, shared counters — and let it resume
+// from the last checkpoint. Clean finishes and other errors are left
+// for StopFeed/Wait to observe as before.
+func (m *Manager) watch(mf *managedFeed, f *Feed) {
+	err := f.Wait()
+	if err == nil || !errors.Is(err, cluster.ErrPartitionDown) {
+		return
+	}
+	m.mu.Lock()
+	if mf.running != f || !mf.failover {
+		// Stopped, superseded, or failover disabled: nothing to do.
+		m.mu.Unlock()
+		return
+	}
+	mf.running = nil
+	live := m.cluster.LiveNodes()
+	if len(live) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	cfg := mf.feedConfig(m.Natives)
+	ctx := mf.ctx
+	m.mu.Unlock()
+
+	cfg.Nodes = live
+	cfg.IntakeNodes = remapIntakeNodes(f.Config().IntakeNodes, live)
+	cfg.Stats = f.Stats()
+	cfg.Stats.Resumptions.Add(1)
+	nf, serr := Start(ctx, m.cluster, cfg)
+	if serr != nil {
+		return
+	}
+	m.mu.Lock()
+	if mf.running != nil {
+		// Raced with a manual StartFeed; yield to it.
+		m.mu.Unlock()
+		nf.Stop()
+		nf.Wait()
+		return
+	}
+	mf.running = nf
+	mf.last = nf
+	m.mu.Unlock()
+	go m.watch(mf, nf)
+}
+
+// remapIntakeNodes preserves adapter slot identity across failover:
+// slot i keeps its node when that node survived, and moves to a
+// surviving node otherwise. The slot count never changes — checkpoints
+// are scoped per slot.
+func remapIntakeNodes(orig, live []int) []int {
+	alive := make(map[int]bool, len(live))
+	for _, n := range live {
+		alive[n] = true
+	}
+	out := make([]int, len(orig))
+	for i, n := range orig {
+		if alive[n] {
+			out[i] = n
+		} else {
+			out[i] = live[i%len(live)]
+		}
+	}
+	return out
 }
 
 // StopFeed gracefully stops a running feed and waits for it to drain.

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrFeedOverloaded reports that a feed's loss-free congestion handling
+// ran out of room: the intake ring was full AND the bounded spill lane
+// was exhausted (or its disk write failed). The feed fails rather than
+// buffer without bound or drop silently; Shed/Sample policies never
+// return it.
+var ErrFeedOverloaded = errors.New("idea: feed overloaded")
+
+// ckptScope names the checkpoint key for one (feed, adapter slot) pair.
+func ckptScope(feed string, slot int) string {
+	return fmt.Sprintf("%s/%d", feed, slot)
+}
+
+// offRange is a closed interval of source offsets.
+type offRange struct{ lo, hi uint64 }
+
+// offsetTracker turns out-of-order "offsets lo..hi were delivered"
+// reports into a contiguous watermark: the largest W such that every
+// offset in 1..W has been delivered. Frames from one adapter can reach
+// different intake partitions (round-robin) and be collected by
+// different computing-job partitions in any order, so the tracker keeps
+// the delivered ranges above the watermark and advances it when the gap
+// closes. Deliberately dropped frames (Shed/Sample) are reported too:
+// their data is gone by policy, and holding the watermark back would
+// just re-deliver records the operator chose to lose.
+type offsetTracker struct {
+	mu        sync.Mutex
+	watermark uint64
+	pending   []offRange // disjoint, sorted by lo, all above watermark
+}
+
+// mark records offsets lo..hi (inclusive) as delivered.
+func (t *offsetTracker) mark(lo, hi uint64) {
+	if lo == 0 || hi < lo {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if hi <= t.watermark {
+		return
+	}
+	if lo <= t.watermark {
+		lo = t.watermark + 1
+	}
+	// Insert and merge with neighbors (ranges touch when hi+1 == lo).
+	i := sort.Search(len(t.pending), func(i int) bool { return t.pending[i].lo > lo })
+	t.pending = append(t.pending, offRange{})
+	copy(t.pending[i+1:], t.pending[i:])
+	t.pending[i] = offRange{lo, hi}
+	merged := t.pending[:0]
+	for _, r := range t.pending {
+		if n := len(merged); n > 0 && r.lo <= merged[n-1].hi+1 {
+			if r.hi > merged[n-1].hi {
+				merged[n-1].hi = r.hi
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	t.pending = merged
+	if len(t.pending) > 0 && t.pending[0].lo == t.watermark+1 {
+		t.watermark = t.pending[0].hi
+		t.pending = t.pending[1:]
+	}
+}
+
+// cut returns the current contiguous watermark.
+func (t *offsetTracker) cut() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.watermark
+}
+
+// seed initializes the watermark from a recovered checkpoint (resume).
+func (t *offsetTracker) seed(w uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w > t.watermark {
+		t.watermark = w
+	}
+}

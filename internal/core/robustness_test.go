@@ -1,0 +1,551 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/cluster"
+	"github.com/ideadb/idea/internal/lsm"
+	"github.com/ideadb/idea/internal/udf"
+)
+
+// eventRecords builds n deterministic records with ids 1..n (id ==
+// source offset, so the checkpoint/model arithmetic below is direct).
+func eventRecords(n int) [][]byte {
+	recs := make([][]byte, n)
+	for i := range recs {
+		id := i + 1
+		recs[i] = []byte(fmt.Sprintf(`{"id":%d,"v":%d}`, id, id*3))
+	}
+	return recs
+}
+
+// slowRegistry returns a native-UDF registry whose "slowpoke" function
+// passes records through with a per-record delay — a stalled consumer
+// that keeps the intake ring congested.
+func slowRegistry(t *testing.T, perRecord time.Duration) *udf.Registry {
+	t.Helper()
+	reg := udf.NewRegistry()
+	if err := reg.Register(&udf.Native{
+		Name: "slowpoke",
+		New: func() udf.Instance {
+			return &udf.FuncInstance{
+				EvalFn: func(rec adm.Value) (adm.Value, error) {
+					time.Sleep(perRecord)
+					return rec, nil
+				},
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestIntakePolicyHammer drives each congestion policy with a fast
+// producer against a deliberately slow consumer on a tiny ring (run
+// under -race in CI): intake memory must stay bounded by the ring, and
+// the policy's loss accounting must be exact — Spill loses nothing,
+// Shed/Sample drop counts plus stored records add up to the input.
+func TestIntakePolicyHammer(t *testing.T) {
+	const n = 2000
+	for _, policy := range []string{"spill", "shed", "sample"} {
+		t.Run(policy, func(t *testing.T) {
+			tuning := cluster.DefaultTuning()
+			tuning.DispatchOverheadPerNode = 0
+			tuning.InvokeOverheadPerNode = 0
+			tuning.HolderCapacity = 2 // tiny ring: congest immediately
+			tuning.FrameCapacity = 8
+			c, err := cluster.New(2, tuning)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.CreateDataset("Events", "", "id"); err != nil {
+				t.Fatal(err)
+			}
+			records := eventRecords(n)
+			cfg := Config{
+				Name:       "hammer-" + policy,
+				Dataset:    "Events",
+				Function:   "slowpoke",
+				Natives:    slowRegistry(t, 20*time.Microsecond),
+				BatchSize:  64,
+				Congestion: policy,
+				SampleRate: 0.25,
+				NewAdapter: func(int) (Adapter, error) {
+					return &GeneratorAdapter{Records: records}, nil
+				},
+			}
+			f, err := Start(context.Background(), c, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Watchdog goroutine: the bounded-intake invariant must hold at
+			// every instant — ringed frames never exceed partitions × ring
+			// capacity, no matter how far ahead the producer runs.
+			stop := make(chan struct{})
+			bound := c.NumNodes() * tuning.HolderCapacity
+			go func() {
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if got := f.Buffered(); got > bound {
+						t.Errorf("intake ring holds %d frames, bound is %d", got, bound)
+						return
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			}()
+			if err := f.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			close(stop)
+
+			st := f.Stats()
+			stored := st.Stored.Load()
+			ds, _ := c.Dataset("Events")
+			switch policy {
+			case "spill":
+				if stored != n || ds.Len() != n {
+					t.Errorf("spill lost data: stored=%d dataset=%d want %d", stored, ds.Len(), n)
+				}
+				if st.SpilledFrames.Load() == 0 {
+					t.Error("hammer never spilled: congestion was not real")
+				}
+				if st.ShedRecords.Load() != 0 || st.SampledRecords.Load() != 0 {
+					t.Error("spill policy dropped records")
+				}
+			case "shed":
+				if stored+st.ShedRecords.Load() != n {
+					t.Errorf("shed accounting: stored=%d + shed=%d != %d", stored, st.ShedRecords.Load(), n)
+				}
+				if st.ShedRecords.Load() == 0 {
+					t.Error("hammer never shed: congestion was not real")
+				}
+			case "sample":
+				if stored+st.SampledRecords.Load() != n {
+					t.Errorf("sample accounting: stored=%d + sampled=%d != %d", stored, st.SampledRecords.Load(), n)
+				}
+				if st.SampledRecords.Load() == 0 {
+					t.Error("hammer never sampled out: congestion was not real")
+				}
+			}
+			// The drained feed holds no frames anywhere.
+			if f.Buffered() != 0 || f.SpillBacklog() != 0 {
+				t.Errorf("drained feed still buffers %d ring / %d spilled frames", f.Buffered(), f.SpillBacklog())
+			}
+		})
+	}
+}
+
+// TestFeedOverloadedSpillLane: a bounded spill lane that fills up fails
+// the feed with ErrFeedOverloaded instead of buffering without bound.
+func TestFeedOverloadedSpillLane(t *testing.T) {
+	tuning := cluster.DefaultTuning()
+	tuning.DispatchOverheadPerNode = 0
+	tuning.InvokeOverheadPerNode = 0
+	tuning.HolderCapacity = 2
+	tuning.FrameCapacity = 4
+	c, err := cluster.New(1, tuning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateDataset("Events", "", "id"); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Name:             "overload",
+		Dataset:          "Events",
+		Function:         "slowpoke",
+		Natives:          slowRegistry(t, 2*time.Millisecond),
+		BatchSize:        4,
+		Congestion:       "spill",
+		MaxSpilledFrames: 2, // minuscule lane: guaranteed exhaustion
+		NewAdapter: func(int) (Adapter, error) {
+			return &GeneratorAdapter{Records: eventRecords(2000)}, nil
+		},
+	}
+	f, err := Start(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Wait() }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrFeedOverloaded) {
+			t.Errorf("Wait = %v, want ErrFeedOverloaded", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("overloaded feed did not fail")
+	}
+}
+
+// durableTestCluster builds a cluster whose storage lives on the given
+// MemFS (crash injection) with deliberately small buffers.
+func durableTestCluster(t *testing.T, fs lsm.FS, nodes int) *cluster.Cluster {
+	t.Helper()
+	tuning := cluster.DefaultTuning()
+	tuning.DispatchOverheadPerNode = 0
+	tuning.InvokeOverheadPerNode = 0
+	tuning.HolderCapacity = 2
+	tuning.FrameCapacity = 4
+	tuning.DataDir = "data"
+	tuning.StorageFS = fs
+	tuning.Storage = lsm.Options{MemBudget: 8 << 10, MaxComponents: 4, WALSegBytes: 8 << 10}
+	c, err := cluster.New(nodes, tuning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateDataset("Events", "", "id"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// crashFeedConfig is the crash-test pipeline: spill policy on a tiny
+// ring (so kill points land during spill writes and drains) and a
+// checkpoint after every batch (so kill points land during checkpoint
+// writes too).
+func crashFeedConfig(records [][]byte) Config {
+	return Config{
+		Name:            "crashfeed",
+		Dataset:         "Events",
+		BatchSize:       16,
+		Congestion:      "spill",
+		CheckpointEvery: 1,
+		NewAdapter: func(int) (Adapter, error) {
+			return &GeneratorAdapter{Records: records}, nil
+		},
+	}
+}
+
+// runDoomedFeed runs the feed until it finishes or fails (write faults
+// make failure likely but not certain) with a deadlock guard.
+func runDoomedFeed(t *testing.T, c *cluster.Cluster, cfg Config, tag string) {
+	t.Helper()
+	f, err := Start(context.Background(), c, cfg)
+	if err != nil {
+		return // a boot-time write fault is a valid kill point
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("%s: doomed feed wedged", tag)
+	}
+}
+
+// verifyCrashImage checks the at-least-once invariant on a freshly
+// recovered (not yet resumed) dataset: every offset at or below the
+// recovered checkpoint is present (acked ⇒ durable), and nothing
+// outside the generated model exists (records above the checkpoint may
+// legitimately be present — durable but unacknowledged).
+func verifyCrashImage(t *testing.T, c *cluster.Cluster, n int, tag string) uint64 {
+	t.Helper()
+	ds, _ := c.Dataset("Events")
+	ckpt := ds.Checkpoint(ckptScope("crashfeed", 0))
+	if ckpt > uint64(n) {
+		t.Fatalf("%s: checkpoint %d beyond the %d-record stream", tag, ckpt, n)
+	}
+	for id := uint64(1); id <= ckpt; id++ {
+		rec, ok := ds.Get(adm.Int(int64(id)))
+		if !ok {
+			t.Fatalf("%s: offset %d is checkpointed but id %d is missing — ack without durability", tag, ckpt, id)
+		}
+		if got := rec.Field("v").IntVal(); got != int64(id)*3 {
+			t.Fatalf("%s: id %d recovered v=%d, want %d", tag, id, got, id*3)
+		}
+	}
+	ds.ScanAll(func(k, rec adm.Value) bool {
+		id := k.IntVal()
+		if id < 1 || id > int64(n) || rec.Field("v").IntVal() != id*3 {
+			t.Fatalf("%s: dataset holds record outside the model: id=%d v=%v", tag, id, rec.Field("v"))
+		}
+		return true
+	})
+	return ckpt
+}
+
+// TestFeedCrashRecovery is the end-to-end crash-injection suite: run a
+// spill-heavy checkpointing feed on MemFS-backed durable storage, kill
+// the filesystem at sampled write counts (clean and torn), take the
+// crash image, recover, check the acked-⇒-durable invariant, then
+// resume the feed from its checkpoint and require the complete model —
+// at-least-once delivery plus idempotent upserts leave exactly the
+// generated records.
+func TestFeedCrashRecovery(t *testing.T) {
+	const n = 400
+	records := eventRecords(n)
+
+	// Dry run: count the workload's writes and prove the config spills.
+	dryFS := lsm.NewMemFS()
+	c := durableTestCluster(t, dryFS, 2)
+	f, err := Start(context.Background(), c, crashFeedConfig(records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().SpilledFrames.Load() == 0 {
+		t.Fatal("crash workload never spilled; kill points would miss the spill path")
+	}
+	if got := f.Stats().LastCheckpoint.Load(); got != n {
+		t.Fatalf("clean run checkpoint = %d, want %d", got, n)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	totalWrites := dryFS.Writes()
+	const points = 7
+	if totalWrites < points {
+		t.Fatalf("workload too small: %d writes", totalWrites)
+	}
+
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < points; i++ {
+		kill := i * totalWrites / points
+		if i > 0 {
+			kill += r.Intn(totalWrites/points + 1)
+		}
+		for _, torn := range []int{0, 7} {
+			tag := fmt.Sprintf("kill@%d/%d torn=%d", kill, totalWrites, torn)
+			fs := lsm.NewMemFS()
+			doomed := durableTestCluster(t, fs, 2)
+			fs.FailWritesAfter(kill, torn)
+			runDoomedFeed(t, doomed, crashFeedConfig(records), tag)
+			img := fs.Crash()
+			doomed.Close()
+
+			recovered := durableTestCluster(t, img, 2)
+			verifyCrashImage(t, recovered, n, tag)
+
+			// Resume: the feed replays from its checkpoint and completes.
+			rf, err := Start(context.Background(), recovered, crashFeedConfig(records))
+			if err != nil {
+				t.Fatalf("%s: resume start: %v", tag, err)
+			}
+			if err := rf.Wait(); err != nil {
+				t.Fatalf("%s: resume: %v", tag, err)
+			}
+			ds, _ := recovered.Dataset("Events")
+			if ds.Len() != n {
+				t.Fatalf("%s: resumed dataset holds %d records, want %d", tag, ds.Len(), n)
+			}
+			for id := 1; id <= n; id++ {
+				rec, ok := ds.Get(adm.Int(int64(id)))
+				if !ok || rec.Field("v").IntVal() != int64(id)*3 {
+					t.Fatalf("%s: id %d wrong after resume", tag, id)
+				}
+			}
+			if got := rf.Stats().LastCheckpoint.Load(); got != n {
+				t.Fatalf("%s: resumed checkpoint = %d, want %d", tag, got, n)
+			}
+			if err := recovered.Close(); err != nil {
+				t.Fatalf("%s: close after resume: %v", tag, err)
+			}
+		}
+	}
+}
+
+// TestFeedCheckpointReplayIdempotent: delivering the whole stream a
+// second time (a fresh feed with no checkpoint, the worst-case
+// redelivery) leaves the dataset unchanged, and a feed that restarts
+// WITH its checkpoint redelivers nothing at all.
+func TestFeedCheckpointReplayIdempotent(t *testing.T) {
+	fs := lsm.NewMemFS()
+	c := durableTestCluster(t, fs, 2)
+	const n = 300
+	records := eventRecords(n)
+	cfg := crashFeedConfig(records)
+
+	f, err := Start(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := c.Dataset("Events")
+	if ds.Len() != n {
+		t.Fatalf("first run stored %d", ds.Len())
+	}
+
+	// Same feed name restarts: the checkpoint says everything was
+	// delivered, so the adapter resumes past the end and stores nothing.
+	f2, err := Start(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.Stats().Stored.Load(); got != 0 {
+		t.Errorf("checkpointed restart redelivered %d records", got)
+	}
+
+	// A different feed name has no checkpoint: full redelivery, which
+	// last-wins upsert absorbs without changing the dataset.
+	cfg2 := cfg
+	cfg2.Name = "crashfeed-redeliver"
+	f3, err := Start(context.Background(), c, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f3.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if f3.Stats().Stored.Load() != n {
+		t.Errorf("redelivery stored %d, want %d", f3.Stats().Stored.Load(), n)
+	}
+	if ds.Len() != n {
+		t.Errorf("redelivery changed the dataset: %d records, want %d", ds.Len(), n)
+	}
+	for id := 1; id <= n; id++ {
+		rec, ok := ds.Get(adm.Int(int64(id)))
+		if !ok || rec.Field("v").IntVal() != int64(id)*3 {
+			t.Fatalf("id %d wrong after redelivery", id)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pacedAdapter is a resumable generator that emits one record every
+// delay — slow enough to kill a node mid-stream deterministically.
+type pacedAdapter struct {
+	records [][]byte
+	delay   time.Duration
+}
+
+func (a *pacedAdapter) Run(ctx context.Context, emit func([]byte) error) error {
+	return a.RunFrom(ctx, 0, func(_ uint64, raw []byte) error { return emit(raw) })
+}
+
+func (a *pacedAdapter) RunFrom(ctx context.Context, from uint64, emit func(uint64, []byte) error) error {
+	for i := int(from); i < len(a.records); i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if err := emit(uint64(i)+1, a.records[i]); err != nil {
+			return err
+		}
+		time.Sleep(a.delay)
+	}
+	return nil
+}
+
+// TestFeedKillNodeFailover kills a cluster node mid-ingest: the feed's
+// pipeline dies with ErrPartitionDown, the manager restarts it on the
+// survivors, the adapter replays from the last checkpoint, and the
+// dataset ends complete and exact.
+func TestFeedKillNodeFailover(t *testing.T) {
+	c, _ := testCluster(t, 3)
+	m := NewManager(c)
+	const n = 1500
+	records := make([][]byte, n)
+	for i := range records {
+		records[i] = []byte(fmt.Sprintf(`{"id":%d,"text":"x"}`, i+1))
+	}
+	cfgVal := adm.ObjectValue(adm.ObjectFromPairs(
+		"adapter-name", adm.String("channel_adapter"),
+		"batch-size", adm.Int(64),
+	))
+	if err := m.CreateFeed("kfeed", cfgVal); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetAdapterFactory("kfeed", func(int) (Adapter, error) {
+		return &pacedAdapter{records: records, delay: 200 * time.Microsecond}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ConnectFeed("kfeed", "Tweets", ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.StartFeed(context.Background(), "kfeed")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let some data land, then kill a node that hosts pipeline partitions.
+	ds, _ := c.Dataset("Tweets")
+	deadline := time.Now().Add(30 * time.Second)
+	for ds.Len() < 100 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ds.Len() < 100 {
+		t.Fatal("feed never made progress")
+	}
+	c.KillNode(2)
+	if c.NodeAlive(2) {
+		t.Fatal("node 2 still alive")
+	}
+
+	// The dying incarnation reports the partition failure...
+	if err := f.Wait(); !errors.Is(err, cluster.ErrPartitionDown) {
+		t.Fatalf("first incarnation Wait = %v, want ErrPartitionDown", err)
+	}
+	// ...and the manager's restarted incarnation finishes the stream.
+	for time.Now().Before(deadline) {
+		if ds.Len() == n {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ds.Len() != n {
+		t.Fatalf("dataset holds %d records after failover, want %d", ds.Len(), n)
+	}
+	for id := 1; id <= n; id++ {
+		if _, ok := ds.Get(adm.Int(int64(id))); !ok {
+			t.Fatalf("id %d missing after failover", id)
+		}
+	}
+	st := f.Stats()
+	if st.Resumptions.Load() < 1 {
+		t.Errorf("resumptions = %d, want >= 1", st.Resumptions.Load())
+	}
+	// The successor must be waitable through the manager and healthy.
+	nf, running, known := m.Lookup("kfeed")
+	if !known || nf == nil {
+		t.Fatal("manager lost the feed")
+	}
+	if running {
+		if err := nf.Wait(); err != nil {
+			t.Fatalf("successor Wait = %v", err)
+		}
+	}
+}
+
+// TestFeedStartOnDeadNodeFails: explicitly routing a pipeline onto a
+// killed node is rejected up front with ErrPartitionDown.
+func TestFeedStartOnDeadNodeFails(t *testing.T) {
+	c, g := testCluster(t, 2)
+	c.KillNode(1)
+	cfg := generatorConfig("deadnode", g, 10)
+	cfg.Nodes = []int{0, 1}
+	if _, err := Start(context.Background(), c, cfg); !errors.Is(err, cluster.ErrPartitionDown) {
+		t.Fatalf("Start on dead node = %v, want ErrPartitionDown", err)
+	}
+	// Routing onto the survivor works.
+	cfg.Nodes = []int{0}
+	f, err := Start(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

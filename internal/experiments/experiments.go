@@ -143,6 +143,7 @@ var Registry = map[string]Runner{
 	"ablation-predeploy": AblationPredeployed,
 	"ablation-decoupled": AblationDecoupled,
 	"ablation-queue":     AblationQueueCapacity,
+	"ablation-failover":  AblationFailover,
 }
 
 // Names returns the registered experiment ids, sorted.

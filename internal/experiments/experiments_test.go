@@ -198,6 +198,25 @@ func TestAblationsTiny(t *testing.T) {
 	}
 }
 
+func TestAblationFailoverTiny(t *testing.T) {
+	opts := tinyOptions()
+	opts.Nodes = []int{3}
+	opts.Tweets = 600
+	table, err := Run("ablation-failover", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(table.Rows))
+	}
+	// The kill run must have failed over at least once and still stored
+	// the complete stream (completeness is checked inside the runner).
+	kill := table.Rows[1]
+	if kill[3] == "0" {
+		t.Errorf("kill run reports 0 resumptions: node death missed the ingest window")
+	}
+}
+
 func TestTablePrint(t *testing.T) {
 	table := &Table{
 		Title:   "T",

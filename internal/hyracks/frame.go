@@ -77,6 +77,18 @@ type Frame struct {
 	// Shared marks a frame delivered to multiple consumers (broadcast
 	// routing); RecycleFrame refuses shared frames.
 	Shared bool
+
+	// Adapter and FirstOff/LastOff locate the frame in its source
+	// adapter's offset space for at-least-once checkpointing: the frame
+	// carries records with source offsets FirstOff..LastOff (inclusive,
+	// dense) emitted by intake adapter slot Adapter. FirstOff == 0 means
+	// the frame carries no offset provenance (a non-resumable source).
+	// The metadata travels with the frame through connectors and the
+	// spill lane; consumers report delivered ranges to their feed's
+	// offset tracker before recycling.
+	Adapter  int
+	FirstOff uint64
+	LastOff  uint64
 }
 
 // Len returns the number of records in the frame across both lanes.
@@ -249,7 +261,7 @@ func RecycleFrameSpines(f Frame) {
 // (broadcast) frame — or any frame it does not own — needs to retain
 // the data past the push call.
 func Detach(f Frame) Frame {
-	out := Frame{}
+	out := Frame{Adapter: f.Adapter, FirstOff: f.FirstOff, LastOff: f.LastOff}
 	if len(f.Records) > 0 {
 		out.Records = make([]adm.Value, len(f.Records))
 		for i, r := range f.Records {
@@ -274,6 +286,28 @@ type FrameBuilder struct {
 	raw      [][]byte
 	arena    *adm.Arena
 	out      Writer
+
+	// Offset provenance for the frame under construction (see
+	// Frame.Adapter/FirstOff/LastOff). adapter is stamped on every frame;
+	// firstOff/lastOff reset at each Flush.
+	adapter  int
+	firstOff uint64
+	lastOff  uint64
+}
+
+// SetAdapter records the intake adapter slot whose records this builder
+// frames; every emitted frame is stamped with it.
+func (b *FrameBuilder) SetAdapter(slot int) { b.adapter = slot }
+
+// NoteOffset records the source offset of the record about to be added.
+// Offsets must be dense and ascending within a frame; callers invoke it
+// immediately before the Add/AddRaw call for that record so a flush
+// triggered by the add carries the right range.
+func (b *FrameBuilder) NoteOffset(off uint64) {
+	if b.firstOff == 0 {
+		b.firstOff = off
+	}
+	b.lastOff = off
 }
 
 // NewFrameBuilder returns a builder emitting frames of up to capacity
@@ -329,7 +363,11 @@ func (b *FrameBuilder) Flush() error {
 		// A drawn but unused arena is kept for the next frame.
 		return nil
 	}
-	f := Frame{Records: b.buf, Raw: b.raw, Arena: b.arena}
+	f := Frame{
+		Records: b.buf, Raw: b.raw, Arena: b.arena,
+		Adapter: b.adapter, FirstOff: b.firstOff, LastOff: b.lastOff,
+	}
 	b.buf, b.raw, b.arena = nil, nil, nil
+	b.firstOff, b.lastOff = 0, 0
 	return b.out.Push(f)
 }

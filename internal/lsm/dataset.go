@@ -116,6 +116,33 @@ func (d *Dataset) Route(pk adm.Value) int {
 	return int(adm.Hash(pk) % uint64(len(d.partitions)))
 }
 
+// PutCheckpoint records a feed-resume checkpoint on every partition
+// (see Partition.PutCheckpoint), so losing any subset of partitions
+// still leaves the full watermark recoverable from the survivors.
+func (d *Dataset) PutCheckpoint(scope string, off uint64) error {
+	for _, p := range d.partitions {
+		if err := p.PutCheckpoint(scope, off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint returns the highest durable checkpoint for scope across
+// the partitions (0 = none). Max is correct because a checkpoint is
+// written only after the records it covers are durable on every
+// partition; a partition holding an older value just means more
+// redelivery, which last-wins upsert absorbs.
+func (d *Dataset) Checkpoint(scope string) uint64 {
+	var best uint64
+	for _, p := range d.partitions {
+		if off := p.Checkpoint(scope); off > best {
+			best = off
+		}
+	}
+	return best
+}
+
 // KeyOf extracts the primary key from a record.
 func (d *Dataset) KeyOf(rec adm.Value) (adm.Value, error) {
 	pk := rec.Field(d.primaryKey)

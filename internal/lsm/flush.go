@@ -117,6 +117,11 @@ func (p *Partition) flushOnce() (bool, error) {
 		Entries: rf.entries,
 		Bytes:   rf.size,
 	})
+	// Snapshot the checkpoint table before the WAL truncation below can
+	// drop the segments the checkpoint entries live in. Including
+	// checkpoints newer than FlushedLSN is safe: a checkpoint is only
+	// written after the records it covers were group-committed.
+	man.Checkpoints = p.checkpointsSnapshot()
 	if err := storeManifest(p.fs, p.dir, man); err != nil {
 		rf.close()
 		return false, fmt.Errorf("lsm: flush: %w", err)
@@ -230,6 +235,7 @@ func (p *Partition) compactOnce() (bool, error) {
 	newRuns = append(newRuns, man.Runs[hi:]...)
 	oldRuns := man.Runs[lo:hi]
 	man.Runs = newRuns
+	man.Checkpoints = p.checkpointsSnapshot()
 	if err := storeManifest(p.fs, p.dir, man); err != nil {
 		rf.close()
 		return false, fmt.Errorf("lsm: compact: %w", err)

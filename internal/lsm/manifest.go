@@ -29,6 +29,12 @@ type manifest struct {
 	FlushedLSN uint64    `json:"flushed_lsn"`
 	NextSeq    uint64    `json:"next_file_seq"`
 	Runs       []runMeta `json:"runs"` // oldest first
+	// Checkpoints carries the feed-resume offsets (PutCheckpoint) across
+	// WAL truncation: a checkpoint lives in the WAL like any entry, so
+	// before the flusher truncates the log it snapshots the in-memory
+	// checkpoint table here. Recovery seeds from the manifest, then WAL
+	// replay overwrites with anything newer.
+	Checkpoints map[string]uint64 `json:"checkpoints,omitempty"`
 }
 
 type runMeta struct {

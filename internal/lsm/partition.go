@@ -31,6 +31,7 @@ package lsm
 import (
 	"fmt"
 	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -184,6 +185,12 @@ type Partition struct {
 	stats      Stats
 	closed     bool
 	perr       error // sticky storage failure (flush/compaction/commit)
+	// ckpts holds feed-resume checkpoints (scope -> source offset).
+	// Checkpoints are logged through the WAL like data entries — so a
+	// checkpoint's durability is ordered after the records it covers —
+	// but live here instead of the memtable, and survive WAL truncation
+	// via the manifest's Checkpoints snapshot.
+	ckpts map[string]uint64
 
 	// onNew is the memtable byte-accounting hook handed to
 	// BTree.PutBatch; built once so batch upserts don't allocate a
@@ -230,6 +237,94 @@ func NewPartition(opts Options) *Partition {
 // WAL exposes the partition's log so storage jobs can group-commit once
 // per frame.
 func (p *Partition) WAL() *WAL { return p.wal }
+
+// ckptKeyPrefix marks a WAL entry as a feed-resume checkpoint rather
+// than a data record. The leading NUL keeps it out of any legitimate
+// primary-key space (ADM string keys never start with NUL).
+const ckptKeyPrefix = "\x00idea-ckpt\x00"
+
+// checkpointScope reports whether a replayed WAL key is a checkpoint
+// entry, and for which scope.
+func checkpointScope(key adm.Value) (string, bool) {
+	if key.Kind() != adm.KindString {
+		return "", false
+	}
+	s := key.StringVal()
+	if !strings.HasPrefix(s, ckptKeyPrefix) {
+		return "", false
+	}
+	return s[len(ckptKeyPrefix):], true
+}
+
+// PutCheckpoint durably records "source offset off for scope is fully
+// stored in this partition": the entry is WAL-logged and group-
+// committed like a data write, so when PutCheckpoint returns nil every
+// record the caller stored before it is at least as durable as the
+// checkpoint itself (same log, earlier LSNs). Offsets are monotonic per
+// scope; a stale offset is logged but does not regress the table. For
+// in-memory partitions the table is updated without logging (resume
+// then starts from zero after restart, which is correct: nothing was
+// durable).
+func (p *Partition) PutCheckpoint(scope string, off uint64) error {
+	key := adm.String(ckptKeyPrefix + scope)
+	rec := adm.Int(int64(off))
+	buf := p.encodeEntry(key, rec)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		if buf != nil {
+			putEncBuf(buf)
+		}
+		return fmt.Errorf("lsm: partition closed")
+	}
+	p.logLocked(buf, 1)
+	if p.ckpts == nil {
+		p.ckpts = make(map[string]uint64)
+	}
+	if off > p.ckpts[scope] {
+		p.ckpts[scope] = off
+	}
+	p.mu.Unlock()
+	if buf != nil {
+		putEncBuf(buf)
+	}
+	return p.commitDurable()
+}
+
+// Checkpoint returns the last durable checkpoint for scope (0 = none).
+func (p *Partition) Checkpoint(scope string) uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.ckpts[scope]
+}
+
+// checkpointsSnapshot copies the checkpoint table (flusher: manifest
+// stores must not lose checkpoints to WAL truncation).
+func (p *Partition) checkpointsSnapshot() map[string]uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if len(p.ckpts) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(p.ckpts))
+	for k, v := range p.ckpts {
+		out[k] = v
+	}
+	return out
+}
+
+// restoreCheckpoint seeds the checkpoint table during recovery
+// (manifest first, then WAL replay; max wins).
+func (p *Partition) restoreCheckpoint(scope string, off uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ckpts == nil {
+		p.ckpts = make(map[string]uint64)
+	}
+	if off > p.ckpts[scope] {
+		p.ckpts[scope] = off
+	}
+}
 
 // AttachIndex registers a secondary index. Existing records are
 // back-filled so an index created after a load is immediately complete.

@@ -70,11 +70,25 @@ func OpenPartition(fsys FS, dir string, opts Options) (*Partition, error) {
 		p.closeRunsLocked()
 		return nil, err
 	}
+	// Feed-resume checkpoints: the manifest snapshot first, then the WAL
+	// tail may raise them further during replay below.
+	for scope, off := range man.Checkpoints {
+		p.restoreCheckpoint(scope, off)
+	}
+
 	// Replay applies straight to the fresh memtable: no locks are
 	// needed (the partition is not yet published) and no re-logging
 	// happens (the entries are already in the WAL). Tombstones stay in
-	// the memtable as MISSING so they shadow older runs.
+	// the memtable as MISSING so they shadow older runs. Checkpoint
+	// entries (reserved key prefix) route to the checkpoint table
+	// instead of the memtable.
 	err = wal.Replay(man.FlushedLSN, func(_ uint64, key, rec adm.Value) error {
+		if scope, ok := checkpointScope(key); ok {
+			if off, ok := rec.AsInt(); ok {
+				p.restoreCheckpoint(scope, uint64(off))
+			}
+			return nil
+		}
 		if !p.mem.Put(key, rec) {
 			p.memBytes += key.MemSize() + rec.MemSize()
 		}

@@ -1,0 +1,223 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/hyracks"
+)
+
+// SpillQueue is the disk-backed overflow lane behind a Spill-policy
+// intake holder (hyracks.FrameSpiller): a FIFO of frames encoded into a
+// single append-only file through the same FS seam and CRC framing as
+// the WAL. Spill takes ownership of the frame, encodes it (records in
+// adm binary, raw lines length-prefixed, offset provenance in the
+// header), and recycles it; Unspill decodes the oldest un-read frame
+// into fresh pooled spines/arena the caller owns.
+//
+// Durability is deliberately NOT provided: spilled frames are by
+// definition not yet checkpointed, so after a crash they are replayed
+// from the source adapter, not from the spill file. The queue therefore
+// never fsyncs — writes land in the page cache (or MemFS unsynced
+// bytes) and the file is truncated back to zero whenever the lane
+// drains, reclaiming space without rotation bookkeeping.
+//
+// Frame format (little-endian, CRC32-C over the payload, mirroring the
+// WAL's frame = len:4 crc:4 payload):
+//
+//	payload := adapter:uvarint firstOff:uvarint lastOff:uvarint
+//	           nRecords:uvarint nRaw:uvarint
+//	           record*   (adm binary)
+//	           rawLine*  (len:uvarint bytes)
+//
+// The holder serializes Spill against Unspill (see
+// hyracks.FrameSpiller); the internal mutex exists so Len and Close are
+// safe from any goroutine.
+type SpillQueue struct {
+	mu      sync.Mutex
+	fsys    FS
+	path    string
+	f       File
+	readOff int64 // next frame to Unspill starts here
+	writeAt int64 // current end of file
+	count   int   // frames written but not yet unspilled
+	closed  bool
+
+	encBuf []byte // reused encoding buffer
+}
+
+// NewSpillQueue creates (truncating) the spill file at dir/name inside
+// fsys. The directory is created if needed.
+func NewSpillQueue(fsys FS, dir, name string) (*SpillQueue, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("lsm: spill dir: %w", err)
+	}
+	p := joinPath(dir, name)
+	f, err := fsys.Create(p)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: spill file: %w", err)
+	}
+	return &SpillQueue{fsys: fsys, path: p, f: f}, nil
+}
+
+// Len reports frames spilled but not yet unspilled.
+func (q *SpillQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Spill appends the frame to the lane, taking ownership: the frame is
+// fully encoded before return and recycled (records are copied into the
+// file, so the arena is safe to reset).
+func (q *SpillQueue) Spill(f hyracks.Frame) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("lsm: spill queue closed")
+	}
+
+	// Build the payload after an 8-byte len+crc placeholder.
+	buf := append(q.encBuf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = binary.AppendUvarint(buf, uint64(f.Adapter))
+	buf = binary.AppendUvarint(buf, f.FirstOff)
+	buf = binary.AppendUvarint(buf, f.LastOff)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Records)))
+	buf = binary.AppendUvarint(buf, uint64(len(f.Raw)))
+	for _, r := range f.Records {
+		buf = adm.AppendBinary(buf, r)
+	}
+	for _, line := range f.Raw {
+		buf = binary.AppendUvarint(buf, uint64(len(line)))
+		buf = append(buf, line...)
+	}
+	payload := buf[8:]
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, crcTable))
+	q.encBuf = buf
+
+	if _, err := q.f.Write(buf); err != nil {
+		return fmt.Errorf("lsm: spill write: %w", err)
+	}
+	q.writeAt += int64(len(buf))
+	q.count++
+	hyracks.RecycleFrame(f)
+	return nil
+}
+
+// Unspill decodes and returns the oldest spilled frame (ok=false when
+// the lane is empty). The returned frame uses pooled spines and a
+// pooled arena for raw lines; the caller owns it like any pulled frame.
+// Draining the lane truncates the file back to zero.
+func (q *SpillQueue) Unspill() (hyracks.Frame, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.count == 0 || q.closed {
+		return hyracks.Frame{}, false, nil
+	}
+
+	var hdr [8]byte
+	if _, err := q.f.ReadAt(hdr[:], q.readOff); err != nil {
+		return hyracks.Frame{}, false, fmt.Errorf("lsm: spill read header: %w", err)
+	}
+	plen := int(binary.LittleEndian.Uint32(hdr[:]))
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	payload := make([]byte, plen)
+	if _, err := q.f.ReadAt(payload, q.readOff+8); err != nil {
+		return hyracks.Frame{}, false, fmt.Errorf("lsm: spill read payload: %w", err)
+	}
+	if crc32.Checksum(payload, crcTable) != crc {
+		return hyracks.Frame{}, false, fmt.Errorf("lsm: spill frame at %d: crc mismatch", q.readOff)
+	}
+
+	f, err := decodeSpillFrame(payload)
+	if err != nil {
+		return hyracks.Frame{}, false, err
+	}
+	q.readOff += int64(8 + plen)
+	q.count--
+	if q.count == 0 {
+		// Lane drained: reclaim the file. Failure to truncate is not
+		// fatal — the next spill simply appends past the dead bytes.
+		if err := q.f.Truncate(0); err == nil {
+			q.readOff, q.writeAt = 0, 0
+		} else {
+			q.readOff = q.writeAt
+		}
+	}
+	return f, true, nil
+}
+
+func decodeSpillFrame(payload []byte) (hyracks.Frame, error) {
+	var f hyracks.Frame
+	fields := [3]uint64{}
+	pos := 0
+	for i := range fields {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return f, fmt.Errorf("lsm: spill frame: truncated header")
+		}
+		fields[i], pos = v, pos+n
+	}
+	f.Adapter, f.FirstOff, f.LastOff = int(fields[0]), fields[1], fields[2]
+	nRec, n := binary.Uvarint(payload[pos:])
+	if n <= 0 {
+		return f, fmt.Errorf("lsm: spill frame: truncated record count")
+	}
+	pos += n
+	nRaw, n := binary.Uvarint(payload[pos:])
+	if n <= 0 {
+		return f, fmt.Errorf("lsm: spill frame: truncated raw count")
+	}
+	pos += n
+
+	if nRec > 0 {
+		f.Records = hyracks.GetRecordSlice(int(nRec))
+		for i := uint64(0); i < nRec; i++ {
+			v, n, err := adm.DecodeBinary(payload[pos:])
+			if err != nil {
+				return f, fmt.Errorf("lsm: spill frame record %d: %w", i, err)
+			}
+			f.Records = append(f.Records, v)
+			pos += n
+		}
+	}
+	if nRaw > 0 {
+		f.Raw = hyracks.GetRawSlice(int(nRaw))
+		f.Arena = hyracks.GetArena()
+		for i := uint64(0); i < nRaw; i++ {
+			l, n := binary.Uvarint(payload[pos:])
+			if n <= 0 {
+				return f, fmt.Errorf("lsm: spill frame raw %d: truncated length", i)
+			}
+			pos += n
+			if pos+int(l) > len(payload) {
+				return f, fmt.Errorf("lsm: spill frame raw %d: truncated bytes", i)
+			}
+			f.Raw = append(f.Raw, f.Arena.AppendBytes(payload[pos:pos+int(l)]))
+			pos += int(l)
+		}
+	}
+	return f, nil
+}
+
+// Close releases the file handle and removes the spill file. Frames
+// still parked in the lane are discarded — teardown only happens after
+// the feed has stopped, when un-drained spilled frames are replayed
+// from the source on resume.
+func (q *SpillQueue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	err := q.f.Close()
+	if rerr := q.fsys.Remove(q.path); err == nil {
+		err = rerr
+	}
+	return err
+}
