@@ -164,10 +164,15 @@ type Feed struct {
 	// offset ranges for adapter slot `slot`; lastCkpt[slot] is the last
 	// watermark written through the partition WALs (AFM goroutine only);
 	// sunk counts records pushed into storage holders, the barrier
-	// target a checkpoint waits on.
-	trackers []*offsetTracker
-	lastCkpt []uint64
-	sunk     atomic.Int64
+	// target a checkpoint waits on. Both sunk and the barrier count
+	// this incarnation only: stats.Stored is cumulative across failover
+	// restarts (the manager hands the successor the same Stats block),
+	// so storedBase snapshots it at Start and the barrier compares the
+	// delta.
+	trackers   []*offsetTracker
+	lastCkpt   []uint64
+	sunk       atomic.Int64
+	storedBase int64
 
 	jobCtx    context.Context
 	jobCancel context.CancelFunc
@@ -180,7 +185,11 @@ type Feed struct {
 
 	stats   *Stats
 	errOnce sync.Once
-	feedErr error
+	// feedErr holds the first pipeline failure. It is written once by
+	// fail() — which runs on the AFM goroutine and the intake/storage
+	// watchdogs — and read by waitInner, so it must be an atomic, not a
+	// plain field guarded only on the write side.
+	feedErr atomic.Pointer[error]
 
 	waitOnce sync.Once
 	waitErr  error
@@ -397,6 +406,10 @@ func Start(ctx context.Context, c *cluster.Cluster, cfg Config) (*Feed, error) {
 		eof:       make([]atomic.Bool, n),
 		stats:     stats,
 		spillers:  make([]*lsm.SpillQueue, n),
+		// On failover the manager passes the old incarnation's Stats, so
+		// Stored may already be non-zero; the storage barrier measures
+		// this incarnation's stores relative to this snapshot.
+		storedBase: stats.Stored.Load(),
 	}
 	f.quota = cfg.BatchSize / n
 	if f.quota < 1 {
@@ -905,9 +918,16 @@ func (f *Feed) runAFM() {
 // in finished invocations, so their records are counted in sunk, and
 // the barrier sees them through the partition WAL commits. Returns
 // false when the feed is going down instead.
+//
+// Both sides of the comparison are per-incarnation: sunk starts at zero
+// every Start, while stats.Stored is cumulative across failover
+// restarts, so the barrier measures it relative to storedBase. Without
+// that base a resumed feed's barrier would be trivially satisfied by
+// the previous incarnation's stores and checkpoints could cover
+// offsets whose records are still sitting un-stored in holder rings.
 func (f *Feed) storageBarrier() bool {
 	target := f.sunk.Load()
-	for f.stats.Stored.Load() < target {
+	for f.stats.Stored.Load()-f.storedBase < target {
 		if f.jobCtx.Err() != nil {
 			return false
 		}
@@ -963,8 +983,16 @@ func (f *Feed) fail(err error) {
 	if err == nil {
 		return
 	}
-	f.errOnce.Do(func() { f.feedErr = err })
+	f.errOnce.Do(func() { f.feedErr.Store(&err) })
 	f.jobCancel()
+}
+
+// err returns the first recorded pipeline failure, or nil.
+func (f *Feed) err() error {
+	if p := f.feedErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // failAsync records a failure from outside the AFM goroutine (the
@@ -995,15 +1023,17 @@ func (f *Feed) waitInner() error {
 	// Final checkpoint: after a clean drain everything sunk is stored,
 	// so the barrier is already satisfied and the last watermark covers
 	// the whole stream.
-	if f.feedErr == nil && intakeErr == nil && storageErr == nil {
+	if f.err() == nil && intakeErr == nil && storageErr == nil {
 		f.checkpoint()
 	}
 	f.teardownHolders()
 	f.cluster.Undeploy(f.computeID)
 	f.jobCancel()
 	switch {
-	case f.feedErr != nil:
-		return f.feedErr
+	// Re-read after checkpoint: a failed final checkpoint records its
+	// error through fail() and must surface here.
+	case f.err() != nil:
+		return f.err()
 	case intakeErr != nil:
 		return intakeErr
 	default:

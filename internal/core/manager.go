@@ -40,6 +40,10 @@ type managedFeed struct {
 	// failover restart reuses.
 	failover bool
 	ctx      context.Context
+	// restartErr records a failover restart that itself failed — the
+	// feed is gone and StopFeed reports why instead of a bare
+	// "not running".
+	restartErr error
 }
 
 // feedConfig builds the Config the WITH-clause describes. Caller holds
@@ -170,6 +174,7 @@ func (m *Manager) StartFeed(ctx context.Context, name string) (*Feed, error) {
 	m.mu.Lock()
 	mf.running = f
 	mf.last = f
+	mf.restartErr = nil
 	m.mu.Unlock()
 	go m.watch(mf, f)
 	return f, nil
@@ -204,11 +209,18 @@ func (m *Manager) watch(mf *managedFeed, f *Feed) {
 	cfg.Nodes = live
 	cfg.IntakeNodes = remapIntakeNodes(f.Config().IntakeNodes, live)
 	cfg.Stats = f.Stats()
-	cfg.Stats.Resumptions.Add(1)
 	nf, serr := Start(ctx, m.cluster, cfg)
 	if serr != nil {
+		// The restart itself failed: the feed is dead. Record why so
+		// StopFeed can surface it instead of a bare "not running".
+		m.mu.Lock()
+		if mf.running == nil {
+			mf.restartErr = fmt.Errorf("core: feed %q failover restart: %w", mf.name, serr)
+		}
+		m.mu.Unlock()
 		return
 	}
+	cfg.Stats.Resumptions.Add(1)
 	m.mu.Lock()
 	if mf.running != nil {
 		// Raced with a manual StartFeed; yield to it.
@@ -244,9 +256,16 @@ func remapIntakeNodes(orig, live []int) []int {
 }
 
 // StopFeed gracefully stops a running feed and waits for it to drain.
+// A feed that died because its failover restart failed reports that
+// restart error here.
 func (m *Manager) StopFeed(name string) error {
 	m.mu.Lock()
 	mf, ok := m.feeds[name]
+	if ok && mf.running == nil && mf.restartErr != nil {
+		err := mf.restartErr
+		m.mu.Unlock()
+		return err
+	}
 	if !ok || mf.running == nil {
 		m.mu.Unlock()
 		return fmt.Errorf("core: feed %q is not running", name)

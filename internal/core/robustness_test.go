@@ -529,6 +529,39 @@ func TestFeedKillNodeFailover(t *testing.T) {
 	}
 }
 
+// TestStorageBarrierAcrossIncarnations: the checkpoint barrier compares
+// this incarnation's stores against this incarnation's sunk count. A
+// failover successor inherits the predecessor's cumulative Stats block
+// (Stored already large), so without the storedBase snapshot the
+// barrier would be trivially satisfied and a checkpoint could cover
+// offsets whose records are still un-stored — acknowledged data lost on
+// the next crash.
+func TestStorageBarrierAcrossIncarnations(t *testing.T) {
+	stats := &Stats{}
+	stats.Stored.Store(1000) // predecessor's cumulative stores
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f := &Feed{stats: stats, storedBase: stats.Stored.Load(), jobCtx: ctx, jobCancel: cancel}
+	f.sunk.Store(5) // this incarnation has handed 5 records to storage holders
+
+	done := make(chan bool, 1)
+	go func() { done <- f.storageBarrier() }()
+	select {
+	case <-done:
+		t.Fatal("barrier passed while this incarnation's records are un-stored")
+	case <-time.After(30 * time.Millisecond):
+	}
+	stats.Stored.Add(5) // this incarnation's stores land
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("barrier reported shutdown, want satisfied")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("barrier never released after stores caught up")
+	}
+}
+
 // TestFeedStartOnDeadNodeFails: explicitly routing a pipeline onto a
 // killed node is rejected up front with ErrPartitionDown.
 func TestFeedStartOnDeadNodeFails(t *testing.T) {

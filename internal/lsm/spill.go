@@ -125,6 +125,12 @@ func (q *SpillQueue) Unspill() (hyracks.Frame, bool, error) {
 	}
 	plen := int(binary.LittleEndian.Uint32(hdr[:]))
 	crc := binary.LittleEndian.Uint32(hdr[4:])
+	// Validate the header length against what the file actually holds
+	// before allocating: a corrupt length field (up to 4GB) must fail as
+	// a decode error, not an enormous allocation.
+	if int64(plen) > q.writeAt-(q.readOff+8) {
+		return hyracks.Frame{}, false, fmt.Errorf("lsm: spill frame at %d: length %d exceeds file", q.readOff, plen)
+	}
 	payload := make([]byte, plen)
 	if _, err := q.f.ReadAt(payload, q.readOff+8); err != nil {
 		return hyracks.Frame{}, false, fmt.Errorf("lsm: spill read payload: %w", err)
@@ -173,6 +179,14 @@ func decodeSpillFrame(payload []byte) (hyracks.Frame, error) {
 		return f, fmt.Errorf("lsm: spill frame: truncated raw count")
 	}
 	pos += n
+	// Every record and raw line costs at least one payload byte, so a
+	// count beyond the remaining bytes is corrupt — reject it before
+	// sizing slices from it. (Check each count first so the sum cannot
+	// wrap.)
+	rem := uint64(len(payload) - pos)
+	if nRec > rem || nRaw > rem || nRec+nRaw > rem {
+		return f, fmt.Errorf("lsm: spill frame: counts %d+%d exceed payload", nRec, nRaw)
+	}
 
 	if nRec > 0 {
 		f.Records = hyracks.GetRecordSlice(int(nRec))
@@ -194,7 +208,10 @@ func decodeSpillFrame(payload []byte) (hyracks.Frame, error) {
 				return f, fmt.Errorf("lsm: spill frame raw %d: truncated length", i)
 			}
 			pos += n
-			if pos+int(l) > len(payload) {
+			// Compare in uint64 before converting: int(l) for a length
+			// above MaxInt64 goes negative and would slip past an
+			// int-domain bounds check into a slice panic.
+			if l > uint64(len(payload)-pos) {
 				return f, fmt.Errorf("lsm: spill frame raw %d: truncated bytes", i)
 			}
 			f.Raw = append(f.Raw, f.Arena.AppendBytes(payload[pos:pos+int(l)]))

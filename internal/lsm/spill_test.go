@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"testing"
 
@@ -106,6 +107,58 @@ func TestSpillQueueCloseRemovesFile(t *testing.T) {
 	}
 	if err := q.Spill(spillFrame(0, 5, 8, 4)); err == nil {
 		t.Fatal("Spill after Close succeeded")
+	}
+}
+
+// TestSpillQueueCorruptHeaderLength: a frame header whose length field
+// exceeds what the file holds must fail as a decode error, not allocate
+// gigabytes or panic.
+func TestSpillQueueCorruptHeaderLength(t *testing.T) {
+	fs := NewMemFS()
+	q, err := NewSpillQueue(fs, "spill", "p000.spill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	// Hand-write a frame whose header claims a ~4GB payload the file
+	// does not contain.
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:], 0xFFFFFFF0)
+	if _, err := q.f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	q.writeAt = int64(len(hdr))
+	q.count = 1
+	if _, ok, err := q.Unspill(); err == nil || ok {
+		t.Fatalf("Unspill on corrupt length: ok=%v err=%v, want error", ok, err)
+	}
+}
+
+// TestDecodeSpillFrameCorrupt: crafted payloads with oversized uvarint
+// lengths/counts must come back as decode errors, never slice panics or
+// huge allocations.
+func TestDecodeSpillFrameCorrupt(t *testing.T) {
+	// Raw-line length of MaxUint64: int(l) goes negative, which an
+	// int-domain bounds check would wave through into a slice panic.
+	p := binary.AppendUvarint(nil, 0) // adapter
+	p = binary.AppendUvarint(p, 1)    // firstOff
+	p = binary.AppendUvarint(p, 1)    // lastOff
+	p = binary.AppendUvarint(p, 0)    // nRec
+	p = binary.AppendUvarint(p, 1)    // nRaw
+	p = binary.AppendUvarint(p, ^uint64(0))
+	if _, err := decodeSpillFrame(p); err == nil {
+		t.Fatal("oversized raw length decoded without error")
+	}
+
+	// Record count far beyond the payload: must be rejected before the
+	// count sizes an allocation.
+	p = binary.AppendUvarint(nil, 0)
+	p = binary.AppendUvarint(p, 1)
+	p = binary.AppendUvarint(p, 1)
+	p = binary.AppendUvarint(p, 1<<40) // nRec
+	p = binary.AppendUvarint(p, 0)     // nRaw
+	if _, err := decodeSpillFrame(p); err == nil {
+		t.Fatal("oversized record count decoded without error")
 	}
 }
 
