@@ -1,0 +1,21 @@
+package idea
+
+import (
+	"github.com/ideadb/idea/internal/adm"
+	"github.com/ideadb/idea/internal/bridge"
+)
+
+// The wire server (internal/server) drives the cluster through this
+// public API, but speaks adm.Value on the wire. These hooks let it box
+// and unbox Values without the package exporting engine internals; see
+// internal/bridge.
+func init() {
+	bridge.WrapValue = func(v adm.Value) any { return Value{v} }
+	bridge.UnwrapValue = func(x any) (adm.Value, bool) {
+		v, ok := x.(Value)
+		if !ok {
+			return adm.Value{}, false
+		}
+		return v.v, true
+	}
+}

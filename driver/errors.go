@@ -1,0 +1,77 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/ideadb/idea"
+	"github.com/ideadb/idea/internal/wire"
+)
+
+// Error is a typed error frame from the server. Unwrap maps the wire
+// code back onto the public sentinels, so error identity survives the
+// network hop:
+//
+//	_, err := db.QueryContext(ctx, `SELECT VALUE t FROM Nope t`)
+//	errors.Is(err, idea.ErrUnknownDataset) // true
+type Error struct {
+	// Code is the machine-readable wire code ("unknown_dataset",
+	// "auth", ...).
+	Code string
+	// Message is the server's human-readable description.
+	Message string
+	// HasStmt reports whether the failure came from a specific
+	// statement inside a script; StmtIndex/StmtPos/StmtSnippet locate
+	// it.
+	HasStmt     bool
+	StmtIndex   int
+	StmtPos     int
+	StmtSnippet string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.HasStmt {
+		return fmt.Sprintf("idea: server error [%s]: %s (statement %d at offset %d: %q)",
+			e.Code, e.Message, e.StmtIndex, e.StmtPos, e.StmtSnippet)
+	}
+	return fmt.Sprintf("idea: server error [%s]: %s", e.Code, e.Message)
+}
+
+// Unwrap yields the public sentinel for the wire code (nil for codes
+// with no sentinel), so errors.Is works across the wire.
+func (e *Error) Unwrap() error { return sentinelFor(e.Code) }
+
+func sentinelFor(code string) error {
+	switch code {
+	case wire.CodeUnknownDataset:
+		return idea.ErrUnknownDataset
+	case wire.CodeUnknownFunction:
+		return idea.ErrUnknownFunction
+	case wire.CodeUnknownFeed:
+		return idea.ErrUnknownFeed
+	case wire.CodeFeedNotRunning:
+		return idea.ErrFeedNotRunning
+	case wire.CodeFeedOverloaded:
+		return idea.ErrFeedOverloaded
+	case wire.CodePartitionDown:
+		return idea.ErrPartitionDown
+	case wire.CodeClosed:
+		return idea.ErrClusterClosed
+	case wire.CodeCanceled:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+func wireError(msg wire.ErrorMsg) error {
+	return &Error{
+		Code:        msg.Code,
+		Message:     msg.Message,
+		HasStmt:     msg.HasStmt,
+		StmtIndex:   msg.Index,
+		StmtPos:     msg.Pos,
+		StmtSnippet: msg.Snippet,
+	}
+}

@@ -1,0 +1,60 @@
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// toDriverValue converts an engine value to what database/sql hands
+// the scanner: scalars as native Go types, composites (objects,
+// arrays, spatial/temporal extras) as their JSON bytes. Scanning a
+// column into an idea.Value reverses this losslessly for scalars and
+// structurally for composites.
+func toDriverValue(v adm.Value) (any, error) {
+	switch v.Kind() {
+	case adm.KindMissing, adm.KindNull:
+		return nil, nil
+	case adm.KindBoolean:
+		return v.BoolVal(), nil
+	case adm.KindInt64:
+		return v.IntVal(), nil
+	case adm.KindDouble:
+		return v.DoubleVal(), nil
+	case adm.KindString:
+		return v.StringVal(), nil
+	case adm.KindDateTime:
+		return v.Time(), nil
+	default:
+		return adm.SerializeJSON(v), nil
+	}
+}
+
+// fromDriverValue converts a database/sql binding to an engine value.
+// []byte is treated as JSON — the symmetric inverse of toDriverValue,
+// so composite values round-trip through parameters.
+func fromDriverValue(x any) (adm.Value, error) {
+	switch t := x.(type) {
+	case nil:
+		return adm.Null(), nil
+	case bool:
+		return adm.Bool(t), nil
+	case int64:
+		return adm.Int(t), nil
+	case float64:
+		return adm.Double(t), nil
+	case string:
+		return adm.String(t), nil
+	case time.Time:
+		return adm.DateTime(t), nil
+	case []byte:
+		v, err := adm.ParseJSON(t)
+		if err != nil {
+			return adm.Value{}, fmt.Errorf("[]byte argument is not valid JSON: %w", err)
+		}
+		return v, nil
+	default:
+		return adm.Value{}, fmt.Errorf("unsupported argument type %T", x)
+	}
+}

@@ -6,17 +6,19 @@ import (
 
 	"github.com/ideadb/idea/internal/cluster"
 	"github.com/ideadb/idea/internal/core"
+	"github.com/ideadb/idea/internal/query"
 )
 
 // Sentinel errors for the public API. Wrap-aware callers use errors.Is;
 // the wrapped message always carries the offending name.
 var (
 	// ErrUnknownDataset reports a reference to a dataset that was never
-	// created (or was dropped).
-	ErrUnknownDataset = errors.New("idea: unknown dataset")
+	// created (or was dropped). Aliases the query engine's sentinel so
+	// lazy failures surfacing from a cursor keep their identity.
+	ErrUnknownDataset = query.ErrUnknownDataset
 	// ErrUnknownFunction reports a reference to a function missing from
 	// the catalog.
-	ErrUnknownFunction = errors.New("idea: unknown function")
+	ErrUnknownFunction = query.ErrUnknownFunction
 	// ErrUnknownFeed reports a feed handle whose feed the manager does
 	// not know (never declared, or dropped).
 	ErrUnknownFeed = errors.New("idea: unknown feed")
@@ -36,6 +38,12 @@ var (
 	// checkpoint; the error surfaces only when failover is disabled or
 	// no nodes survive.
 	ErrPartitionDown = cluster.ErrPartitionDown
+	// ErrClusterClosed reports an operation on a cluster after Close —
+	// the typed liveness failure Ping returns (and, through the wire
+	// server and driver, what a remote client's Ping sees during
+	// shutdown). Aliases the internal sentinel so errors.Is works
+	// across the whole stack.
+	ErrClusterClosed = cluster.ErrClosed
 )
 
 // StatementError locates a failure inside a multi-statement Execute

@@ -275,6 +275,11 @@ type Feed struct {
 	c    *Cluster
 }
 
+// Name returns the feed's declared name — the identity that STOP FEED
+// and the wire protocol's result summaries use (handles don't cross
+// the network; names do).
+func (f *Feed) Name() string { return f.name }
+
 // Stop gracefully stops the feed and waits for in-flight data to drain
 // to storage.
 func (f *Feed) Stop() error { return f.c.mgr.StopFeed(f.name) }

@@ -1,0 +1,22 @@
+// Package bridge lets internal packages that sit ON TOP of the public
+// API — the wire server, which drives idea.Cluster like any other
+// client — convert between the engine's adm.Value and the public
+// idea.Value without the root package exporting its internals. The
+// root package registers the hooks from an init function, so any
+// importer of github.com/ideadb/idea (the server always is one) finds
+// them populated.
+package bridge
+
+import "github.com/ideadb/idea/internal/adm"
+
+var (
+	// WrapValue boxes an adm.Value as a public idea.Value, returned as
+	// any (this package cannot name the public type without an import
+	// cycle). The result is accepted by idea.Named and the Obj/Arr
+	// builders.
+	WrapValue func(adm.Value) any
+
+	// UnwrapValue extracts the adm.Value from a public idea.Value; ok is
+	// false when x is not an idea.Value.
+	UnwrapValue func(x any) (v adm.Value, ok bool)
+)

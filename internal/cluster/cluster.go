@@ -69,6 +69,11 @@ func DefaultTuning() Tuning {
 // last checkpoint.
 var ErrPartitionDown = errors.New("idea: partition down")
 
+// ErrClosed reports an operation on a cluster after Close. Ping (and
+// through it the wire server's liveness probe) returns it so clients
+// can tell a shut-down engine from a healthy one.
+var ErrClosed = errors.New("idea: cluster is closed")
+
 // NodeController is one simulated worker node.
 type NodeController struct {
 	// ID is the node number (0-based).
@@ -90,6 +95,7 @@ type Cluster struct {
 	tuning Tuning
 	nodes  []*NodeController
 	jobSeq atomic.Uint64
+	closed atomic.Bool
 
 	mu          sync.RWMutex
 	datatypes   map[string]*adm.Datatype
@@ -220,8 +226,12 @@ func (c *Cluster) CreateDataset(name, typeName, primaryKey string) (*lsm.Dataset
 
 // Close shuts down every dataset's storage (durable partitions drain
 // their flushers, commit and close their WALs, and close run files).
-// The cluster must not execute statements afterwards.
+// The cluster must not execute statements afterwards. Close is
+// idempotent: a second call is a no-op.
 func (c *Cluster) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var firstErr error
@@ -232,6 +242,9 @@ func (c *Cluster) Close() error {
 	}
 	return firstErr
 }
+
+// Closed reports whether Close has been called.
+func (c *Cluster) Closed() bool { return c.closed.Load() }
 
 // Dataset implements query.Catalog.
 func (c *Cluster) Dataset(name string) (*lsm.Dataset, bool) {

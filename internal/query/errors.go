@@ -1,0 +1,17 @@
+package query
+
+import "errors"
+
+// Sentinel errors shared with the public API: the root package aliases
+// these (idea.ErrUnknownDataset, idea.ErrUnknownFunction), so a lazy
+// failure surfacing from a cursor keeps its identity all the way out —
+// including across the wire protocol, which maps sentinels to error
+// codes with errors.Is.
+var (
+	// ErrUnknownDataset reports a reference to a dataset that was never
+	// created (or was dropped).
+	ErrUnknownDataset = errors.New("idea: unknown dataset")
+	// ErrUnknownFunction reports a call to a function missing from the
+	// catalog.
+	ErrUnknownFunction = errors.New("idea: unknown function")
+)

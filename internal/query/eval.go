@@ -160,7 +160,7 @@ func evalCall(st evalState, env *Env, call *sqlpp.Call) (adm.Value, error) {
 			return CallFunction(st, udf, args)
 		}
 	}
-	return adm.Value{}, fmt.Errorf("query: unknown function %q", call.Name)
+	return adm.Value{}, fmt.Errorf("%w: %q", ErrUnknownFunction, call.Name)
 }
 
 func evalArgs(st evalState, env *Env, exprs []sqlpp.Expr) ([]adm.Value, error) {

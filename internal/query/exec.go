@@ -107,7 +107,7 @@ func fromCollection(st evalState, env *Env, src sqlpp.Expr) ([]adm.Value, error)
 				return recs, nil
 			}
 		}
-		return nil, fmt.Errorf("query: FROM source %q is neither a binding nor a dataset", id.Name)
+		return nil, fmt.Errorf("%w: FROM source %q is neither a binding nor a dataset", ErrUnknownDataset, id.Name)
 	}
 	v, err := eval(st, env, src)
 	if err != nil {

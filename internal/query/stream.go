@@ -895,7 +895,7 @@ func openFromSource(st evalState, env *Env, src sqlpp.Expr) (collCursor, error) 
 				return &datasetCursor{sc: lsm.NewScanCursor(snaps)}, nil
 			}
 		}
-		return nil, fmt.Errorf("query: FROM source %q is neither a binding nor a dataset", id.Name)
+		return nil, fmt.Errorf("%w: FROM source %q is neither a binding nor a dataset", ErrUnknownDataset, id.Name)
 	}
 	v, err := eval(st, env, src)
 	if err != nil {

@@ -1,0 +1,324 @@
+// Package server is the network front door: it serves the ideaserver
+// wire protocol (internal/wire) over TCP (or any net.Listener — tests
+// use net.Pipe, cmd/ideaserver optionally wraps the listener in TLS)
+// on top of a public idea.Cluster. One goroutine per connection, one
+// statement in flight per connection, streamed result sets that map
+// 1:1 onto the engine's pull cursor, prompt teardown of server-side
+// cursors when a client disappears mid-stream, and graceful drain:
+// Shutdown stops accepting, lets in-flight statements finish, then
+// force-closes stragglers when its context expires.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ideadb/idea"
+	"github.com/ideadb/idea/internal/wire"
+)
+
+// Config tunes a Server. The zero value is usable: no auth, default
+// limits.
+type Config struct {
+	// AuthTokens, when non-empty, requires every handshake to present
+	// one of these tokens; an empty list disables authentication.
+	AuthTokens []string
+	// MaxSessions bounds concurrent connections (default 256). A
+	// connection over the limit is refused with a too_many_sessions
+	// error frame.
+	MaxSessions int
+	// IdleTimeout closes a connection that sends no request for this
+	// long (default 5m).
+	IdleTimeout time.Duration
+	// ReadTimeout bounds reading one frame once its first byte has
+	// arrived, and the handshake (default 30s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response frame batch (default
+	// 30s) — a client that stops draining a stream cannot wedge the
+	// server.
+	WriteTimeout time.Duration
+	// BatchRows is the number of result rows per RowBatch frame
+	// (default 256). Each batch is flushed as soon as it is full, so
+	// the first rows reach a slow-consuming client immediately.
+	BatchRows int
+	// ServerName is announced in the Welcome frame (default
+	// "ideaserver").
+	ServerName string
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxSessions <= 0 {
+		out.MaxSessions = 256
+	}
+	if out.IdleTimeout <= 0 {
+		out.IdleTimeout = 5 * time.Minute
+	}
+	if out.ReadTimeout <= 0 {
+		out.ReadTimeout = 30 * time.Second
+	}
+	if out.WriteTimeout <= 0 {
+		out.WriteTimeout = 30 * time.Second
+	}
+	if out.BatchRows <= 0 {
+		out.BatchRows = 256
+	}
+	if out.ServerName == "" {
+		out.ServerName = "ideaserver"
+	}
+	return out
+}
+
+// Stats is a snapshot of the server's counters (the STATS admin verb
+// serializes the same numbers).
+type Stats struct {
+	// ConnsAccepted counts connections that completed the handshake.
+	ConnsAccepted int64
+	// ConnsRejected counts connections refused (session limit, bad
+	// handshake, auth failure).
+	ConnsRejected int64
+	// AuthFailures counts handshakes with a bad token.
+	AuthFailures int64
+	// SessionsActive is the current live-connection gauge.
+	SessionsActive int64
+	// Queries / Statements count Query and Execute requests served.
+	Queries    int64
+	Statements int64
+	// RowsSent counts result rows streamed to clients.
+	RowsSent int64
+	// BytesSent / BytesReceived count framed wire bytes.
+	BytesSent     int64
+	BytesReceived int64
+	// Errors counts error frames sent.
+	Errors int64
+	// OpenCursors is the gauge of server-side result cursors currently
+	// open — the leak detector: it must return to zero when no query is
+	// streaming, including after abrupt client death.
+	OpenCursors int64
+}
+
+// Server serves the wire protocol over an idea.Cluster. Create with
+// New, feed it listeners with Serve (or single connections with
+// ServeConn), stop it with Shutdown.
+type Server struct {
+	cluster *idea.Cluster
+	cfg     Config
+	tokens  map[string]struct{}
+	start   time.Time
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	draining  bool
+
+	wg sync.WaitGroup
+
+	connsAccepted atomic.Int64
+	connsRejected atomic.Int64
+	authFailures  atomic.Int64
+	sessions      atomic.Int64
+	queries       atomic.Int64
+	statements    atomic.Int64
+	rowsSent      atomic.Int64
+	bytesSent     atomic.Int64
+	bytesRecv     atomic.Int64
+	errorsSent    atomic.Int64
+	openCursors   atomic.Int64
+}
+
+// New builds a Server over cluster.
+func New(cluster *idea.Cluster, cfg Config) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cluster:   cluster,
+		cfg:       cfg.withDefaults(),
+		tokens:    make(map[string]struct{}, len(cfg.AuthTokens)),
+		start:     time.Now(),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+	}
+	for _, tok := range cfg.AuthTokens {
+		s.tokens[tok] = struct{}{}
+	}
+	return s
+}
+
+// Stats snapshots the server counters. Byte totals include live
+// connections (each connection's counters fold into the server's when
+// it ends).
+func (s *Server) Stats() Stats {
+	st := s.counters()
+	s.mu.Lock()
+	for c := range s.conns {
+		st.BytesSent += c.wc.BytesWritten()
+		st.BytesReceived += c.wc.BytesRead()
+	}
+	s.mu.Unlock()
+	return st
+}
+
+func (s *Server) counters() Stats {
+	return Stats{
+		ConnsAccepted:  s.connsAccepted.Load(),
+		ConnsRejected:  s.connsRejected.Load(),
+		AuthFailures:   s.authFailures.Load(),
+		SessionsActive: s.sessions.Load(),
+		Queries:        s.queries.Load(),
+		Statements:     s.statements.Load(),
+		RowsSent:       s.rowsSent.Load(),
+		BytesSent:      s.bytesSent.Load(),
+		BytesReceived:  s.bytesRecv.Load(),
+		Errors:         s.errorsSent.Load(),
+		OpenCursors:    s.openCursors.Load(),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections from l until the listener fails or
+// Shutdown closes it. It always returns a non-nil error; after
+// Shutdown the error is net.ErrClosed (reported as nil-equivalent by
+// callers that test with errors.Is).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return net.ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(nc)
+		}()
+	}
+}
+
+// ServeConn serves one already-established connection synchronously
+// (the net.Pipe test path). It returns when the connection is done.
+func (s *Server) ServeConn(nc net.Conn) {
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.serveConn(nc)
+}
+
+// Shutdown drains the server: stop accepting, close idle connections,
+// let in-flight statements run to completion, and force-close whatever
+// remains when ctx expires (in-flight query contexts are canceled so
+// stuck cursors unwind). It returns ctx.Err() when the deadline forced
+// the drain, nil on a clean one. The cluster is NOT closed — the owner
+// does that after Shutdown returns, so acknowledged writes commit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.beginDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline passed: cancel in-flight statement contexts and cut the
+	// remaining connections.
+	s.cancel()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.wc.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+func (s *Server) register(c *conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || len(s.conns) >= s.cfg.MaxSessions {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) unregister(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// errorMsg maps an engine error onto a wire error frame: a typed code
+// for the public sentinels, statement position when the failure came
+// from inside a script.
+func errorMsg(err error) wire.ErrorMsg {
+	msg := wire.ErrorMsg{Code: wire.CodeInternal, Message: err.Error()}
+	var se *idea.StatementError
+	if errors.As(err, &se) {
+		msg.HasStmt = true
+		msg.Index = se.Index
+		msg.Pos = se.Pos
+		msg.Snippet = se.Snippet
+	}
+	switch {
+	case errors.Is(err, idea.ErrUnknownDataset):
+		msg.Code = wire.CodeUnknownDataset
+	case errors.Is(err, idea.ErrUnknownFunction):
+		msg.Code = wire.CodeUnknownFunction
+	case errors.Is(err, idea.ErrUnknownFeed):
+		msg.Code = wire.CodeUnknownFeed
+	case errors.Is(err, idea.ErrFeedNotRunning):
+		msg.Code = wire.CodeFeedNotRunning
+	case errors.Is(err, idea.ErrFeedOverloaded):
+		msg.Code = wire.CodeFeedOverloaded
+	case errors.Is(err, idea.ErrPartitionDown):
+		msg.Code = wire.CodePartitionDown
+	case errors.Is(err, idea.ErrClusterClosed):
+		msg.Code = wire.CodeClosed
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		msg.Code = wire.CodeCanceled
+	}
+	return msg
+}
+
+var errProtocol = fmt.Errorf("wire protocol violation")

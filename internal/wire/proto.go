@@ -1,0 +1,433 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// Message encoders and decoders. Every Append* function extends dst and
+// returns it; every Parse* function consumes exactly the frame body it
+// is handed (trailing garbage is an error, so a drifted encoder cannot
+// go unnoticed).
+
+// Hello is the client's opening frame.
+type Hello struct {
+	// Version is the client's wire version; the server refuses
+	// mismatches.
+	Version byte
+	// Token authenticates the session when the server requires it.
+	Token string
+}
+
+// AppendHello encodes h.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = append(dst, Magic...)
+	dst = append(dst, h.Version)
+	return appendString(dst, h.Token)
+}
+
+// ParseHello decodes a Hello body.
+func ParseHello(body []byte) (Hello, error) {
+	r := reader{b: body}
+	magic, err := r.take(len(Magic))
+	if err != nil {
+		return Hello{}, fmt.Errorf("wire: hello: %w", err)
+	}
+	if string(magic) != Magic {
+		return Hello{}, fmt.Errorf("wire: bad magic %q (not an idea client)", magic)
+	}
+	var h Hello
+	if h.Version, err = r.byte(); err != nil {
+		return Hello{}, fmt.Errorf("wire: hello: %w", err)
+	}
+	if h.Token, err = r.str(); err != nil {
+		return Hello{}, fmt.Errorf("wire: hello: %w", err)
+	}
+	return h, r.done("hello")
+}
+
+// Welcome is the server's handshake acceptance.
+type Welcome struct {
+	// Version is the server's wire version (echoed for diagnostics; a
+	// mismatch was already refused).
+	Version byte
+	// Server names the software, e.g. "ideaserver/1".
+	Server string
+}
+
+// AppendWelcome encodes w.
+func AppendWelcome(dst []byte, w Welcome) []byte {
+	dst = append(dst, w.Version)
+	return appendString(dst, w.Server)
+}
+
+// ParseWelcome decodes a Welcome body.
+func ParseWelcome(body []byte) (Welcome, error) {
+	r := reader{b: body}
+	var w Welcome
+	var err error
+	if w.Version, err = r.byte(); err != nil {
+		return Welcome{}, fmt.Errorf("wire: welcome: %w", err)
+	}
+	if w.Server, err = r.str(); err != nil {
+		return Welcome{}, fmt.Errorf("wire: welcome: %w", err)
+	}
+	return w, r.done("welcome")
+}
+
+// Param is one bound statement parameter. Name is the parameter name
+// without the "$" — positional parameters use "1", "2", ....
+type Param struct {
+	Name  string
+	Value adm.Value
+}
+
+// Request is the body of a Query or Execute frame (the frame type
+// distinguishes them): statement text plus bound parameters.
+type Request struct {
+	Text   string
+	Params []Param
+}
+
+// AppendRequest encodes req.
+func AppendRequest(dst []byte, req Request) []byte {
+	dst = appendString(dst, req.Text)
+	dst = binary.AppendUvarint(dst, uint64(len(req.Params)))
+	for _, p := range req.Params {
+		dst = appendString(dst, p.Name)
+		dst = adm.AppendBinary(dst, p.Value)
+	}
+	return dst
+}
+
+// ParseRequest decodes a Query/Execute body.
+func ParseRequest(body []byte) (Request, error) {
+	r := reader{b: body}
+	var req Request
+	var err error
+	if req.Text, err = r.str(); err != nil {
+		return Request{}, fmt.Errorf("wire: request: %w", err)
+	}
+	n, err := r.count()
+	if err != nil {
+		return Request{}, fmt.Errorf("wire: request params: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		var p Param
+		if p.Name, err = r.str(); err != nil {
+			return Request{}, fmt.Errorf("wire: request param %d: %w", i, err)
+		}
+		if p.Value, err = r.value(); err != nil {
+			return Request{}, fmt.Errorf("wire: request param %d: %w", i, err)
+		}
+		req.Params = append(req.Params, p)
+	}
+	return req, r.done("request")
+}
+
+// Header announces a result set: its column names. The engine yields
+// one value per row, so today there is exactly one column ("value");
+// the wire carries a list so a projected multi-column layout can ship
+// without a version bump.
+type Header struct {
+	Columns []string
+}
+
+// AppendHeader encodes h.
+func AppendHeader(dst []byte, h Header) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(h.Columns)))
+	for _, c := range h.Columns {
+		dst = appendString(dst, c)
+	}
+	return dst
+}
+
+// ParseHeader decodes a Header body.
+func ParseHeader(body []byte) (Header, error) {
+	r := reader{b: body}
+	n, err := r.count()
+	if err != nil {
+		return Header{}, fmt.Errorf("wire: header: %w", err)
+	}
+	h := Header{Columns: make([]string, 0, n)}
+	for i := 0; i < n; i++ {
+		c, err := r.str()
+		if err != nil {
+			return Header{}, fmt.Errorf("wire: header column %d: %w", i, err)
+		}
+		h.Columns = append(h.Columns, c)
+	}
+	return h, r.done("header")
+}
+
+// AppendRowBatch encodes a batch of result rows.
+func AppendRowBatch(dst []byte, rows []adm.Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	for _, v := range rows {
+		dst = adm.AppendBinary(dst, v)
+	}
+	return dst
+}
+
+// BatchReader decodes a RowBatch body incrementally. The body may alias
+// Conn's internal read buffer; decoded values own their memory (adm
+// decoding copies), so they outlive the buffer, but the BatchReader
+// itself must be exhausted before the next ReadFrame call.
+type BatchReader struct {
+	b   []byte
+	rem int
+}
+
+// NewBatchReader wraps one RowBatch body.
+func NewBatchReader(body []byte) (*BatchReader, error) {
+	n, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, fmt.Errorf("wire: row batch: truncated count")
+	}
+	if n > uint64(len(body)-sz) {
+		// Each value takes at least one byte; a bigger count is corrupt.
+		return nil, fmt.Errorf("wire: row batch: count %d exceeds payload", n)
+	}
+	return &BatchReader{b: body[sz:], rem: int(n)}, nil
+}
+
+// Len reports the rows remaining.
+func (r *BatchReader) Len() int { return r.rem }
+
+// Next decodes the next row; ok is false at exhaustion.
+func (r *BatchReader) Next() (v adm.Value, ok bool, err error) {
+	if r.rem == 0 {
+		if len(r.b) != 0 {
+			return adm.Value{}, false, fmt.Errorf("wire: row batch: %d trailing bytes", len(r.b))
+		}
+		return adm.Value{}, false, nil
+	}
+	v, n, err := adm.DecodeBinary(r.b)
+	if err != nil {
+		return adm.Value{}, false, fmt.Errorf("wire: row batch: %w", err)
+	}
+	r.b = r.b[n:]
+	r.rem--
+	return v, true, nil
+}
+
+// Trailer ends a clean result stream.
+type Trailer struct {
+	// Rows is the total number of rows the server sent.
+	Rows uint64
+}
+
+// AppendTrailer encodes t.
+func AppendTrailer(dst []byte, t Trailer) []byte {
+	return binary.AppendUvarint(dst, t.Rows)
+}
+
+// ParseTrailer decodes a Trailer body.
+func ParseTrailer(body []byte) (Trailer, error) {
+	r := reader{b: body}
+	n, err := r.uvarint()
+	if err != nil {
+		return Trailer{}, fmt.Errorf("wire: trailer: %w", err)
+	}
+	return Trailer{Rows: n}, r.done("trailer")
+}
+
+// ErrorMsg is a typed error frame. Code is one of the Code* constants;
+// when the failure happened inside a multi-statement script, HasStmt is
+// set and Index/Pos/Snippet locate it (the wire form of
+// idea.StatementError).
+type ErrorMsg struct {
+	Code    string
+	Message string
+	HasStmt bool
+	Index   int
+	Pos     int
+	Snippet string
+}
+
+// AppendError encodes e.
+func AppendError(dst []byte, e ErrorMsg) []byte {
+	dst = appendString(dst, e.Code)
+	dst = appendString(dst, e.Message)
+	if !e.HasStmt {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.AppendUvarint(dst, uint64(e.Index))
+	dst = binary.AppendUvarint(dst, uint64(e.Pos))
+	return appendString(dst, e.Snippet)
+}
+
+// ParseError decodes an Error body.
+func ParseError(body []byte) (ErrorMsg, error) {
+	r := reader{b: body}
+	var e ErrorMsg
+	var err error
+	if e.Code, err = r.str(); err != nil {
+		return ErrorMsg{}, fmt.Errorf("wire: error frame: %w", err)
+	}
+	if e.Message, err = r.str(); err != nil {
+		return ErrorMsg{}, fmt.Errorf("wire: error frame: %w", err)
+	}
+	flag, err := r.byte()
+	if err != nil {
+		return ErrorMsg{}, fmt.Errorf("wire: error frame: %w", err)
+	}
+	if flag != 0 {
+		e.HasStmt = true
+		if e.Index, err = r.count(); err != nil {
+			return ErrorMsg{}, fmt.Errorf("wire: error frame index: %w", err)
+		}
+		if e.Pos, err = r.count(); err != nil {
+			return ErrorMsg{}, fmt.Errorf("wire: error frame pos: %w", err)
+		}
+		if e.Snippet, err = r.str(); err != nil {
+			return ErrorMsg{}, fmt.Errorf("wire: error frame snippet: %w", err)
+		}
+	}
+	return e, r.done("error frame")
+}
+
+// StmtResult is the wire form of one idea.Result: what a statement of
+// an Execute script did. Feed carries the name of a feed started by a
+// START FEED statement ("" otherwise) — handles don't cross the wire,
+// names do; the feed is controlled with STOP FEED / STATS.
+type StmtResult struct {
+	Kind         string
+	Pos          int
+	RowsAffected int
+	Feed         string
+}
+
+// AppendExecResults encodes per-statement results.
+func AppendExecResults(dst []byte, results []StmtResult) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(results)))
+	for _, res := range results {
+		dst = appendString(dst, res.Kind)
+		dst = binary.AppendUvarint(dst, uint64(res.Pos))
+		dst = binary.AppendUvarint(dst, uint64(res.RowsAffected))
+		dst = appendString(dst, res.Feed)
+	}
+	return dst
+}
+
+// ParseExecResults decodes an ExecResult body.
+func ParseExecResults(body []byte) ([]StmtResult, error) {
+	r := reader{b: body}
+	n, err := r.count()
+	if err != nil {
+		return nil, fmt.Errorf("wire: exec results: %w", err)
+	}
+	out := make([]StmtResult, 0, n)
+	for i := 0; i < n; i++ {
+		var res StmtResult
+		if res.Kind, err = r.str(); err != nil {
+			return nil, fmt.Errorf("wire: exec result %d: %w", i, err)
+		}
+		if res.Pos, err = r.count(); err != nil {
+			return nil, fmt.Errorf("wire: exec result %d: %w", i, err)
+		}
+		if res.RowsAffected, err = r.count(); err != nil {
+			return nil, fmt.Errorf("wire: exec result %d: %w", i, err)
+		}
+		if res.Feed, err = r.str(); err != nil {
+			return nil, fmt.Errorf("wire: exec result %d: %w", i, err)
+		}
+		out = append(out, res)
+	}
+	return out, r.done("exec results")
+}
+
+// AppendValue encodes one adm value (StatsReply bodies).
+func AppendValue(dst []byte, v adm.Value) []byte { return adm.AppendBinary(dst, v) }
+
+// ParseValue decodes a body that is exactly one adm value.
+func ParseValue(body []byte) (adm.Value, error) {
+	v, n, err := adm.DecodeBinary(body)
+	if err != nil {
+		return adm.Value{}, err
+	}
+	if n != len(body) {
+		return adm.Value{}, fmt.Errorf("wire: value frame: %d trailing bytes", len(body)-n)
+	}
+	return v, nil
+}
+
+// --- body decoding primitives ---
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+type reader struct{ b []byte }
+
+func (r *reader) take(n int) ([]byte, error) {
+	if len(r.b) < n {
+		return nil, fmt.Errorf("truncated (%d of %d bytes)", len(r.b), n)
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated uvarint")
+	}
+	r.b = r.b[n:]
+	return u, nil
+}
+
+// count decodes a uvarint that must fit an int and stay sane as a
+// length/count (corrupt frames must not drive allocations).
+func (r *reader) count() (int, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if u > math.MaxInt32 {
+		return 0, fmt.Errorf("count %d out of range", u)
+	}
+	return int(u), nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.count()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) value() (adm.Value, error) {
+	v, n, err := adm.DecodeBinary(r.b)
+	if err != nil {
+		return adm.Value{}, err
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) done(what string) error {
+	if len(r.b) != 0 {
+		return fmt.Errorf("wire: %s: %d trailing bytes", what, len(r.b))
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ideadb/idea/internal/adm"
+)
+
+// fakeConn adapts in-memory buffers to net.Conn for deterministic
+// framing tests (deadlines are no-ops; PollFrame is tested over real
+// TCP below).
+type fakeConn struct {
+	r *bytes.Reader
+	w bytes.Buffer
+}
+
+func (f *fakeConn) Read(p []byte) (int, error) {
+	if f.r == nil {
+		return 0, errors.New("no read side")
+	}
+	return f.r.Read(p)
+}
+func (f *fakeConn) Write(p []byte) (int, error)        { return f.w.Write(p) }
+func (f *fakeConn) Close() error                       { return nil }
+func (f *fakeConn) LocalAddr() net.Addr                { return nil }
+func (f *fakeConn) RemoteAddr() net.Addr               { return nil }
+func (f *fakeConn) SetDeadline(t time.Time) error      { return nil }
+func (f *fakeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (f *fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func connOver(data []byte) *Conn {
+	return NewConn(&fakeConn{r: bytes.NewReader(data)})
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	fc := &fakeConn{}
+	wc := NewConn(fc)
+	bodies := [][]byte{
+		[]byte("hello"),
+		nil,
+		bytes.Repeat([]byte{0xAB}, 100_000),
+	}
+	types := []Type{TypeQuery, TypePing, TypeRowBatch}
+	for i, b := range bodies {
+		if err := wc.WriteFrame(types[i], b); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := wc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := wc.BytesWritten(); got != int64(fc.w.Len()) {
+		t.Fatalf("BytesWritten = %d, wrote %d", got, fc.w.Len())
+	}
+	rc := connOver(fc.w.Bytes())
+	for i, want := range bodies {
+		typ, body, err := rc.ReadFrame(MaxFrame)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if typ != types[i] {
+			t.Fatalf("frame %d type = %v, want %v", i, typ, types[i])
+		}
+		if !bytes.Equal(body, want) {
+			t.Fatalf("frame %d body mismatch (%d vs %d bytes)", i, len(body), len(want))
+		}
+	}
+	if got := rc.BytesRead(); got != int64(fc.w.Len()) {
+		t.Fatalf("BytesRead = %d, want %d", got, fc.w.Len())
+	}
+}
+
+func TestFrameCRCMismatch(t *testing.T) {
+	data := AppendFrame(nil, TypePing, []byte("payload"))
+	data[len(data)-1] ^= 0xFF // flip a payload byte; the CRC must catch it
+	_, _, err := connOver(data).ReadFrame(MaxFrame)
+	if !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	// A declared length over the cap must be refused before any
+	// allocation.
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1<<30)
+	_, _, err := connOver(hdr[:]).ReadFrame(MaxHandshakeFrame)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// A legal frame that merely exceeds the caller's bound is refused
+	// the same way (handshake cap vs regular frames).
+	data := AppendFrame(nil, TypeHello, bytes.Repeat([]byte{1}, MaxHandshakeFrame+1))
+	_, _, err = connOver(data).ReadFrame(MaxHandshakeFrame)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var hdr [frameHeaderSize]byte // length 0
+	_, _, err := connOver(hdr[:]).ReadFrame(MaxFrame)
+	if err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, h := range []Hello{
+		{Version: Version},
+		{Version: Version, Token: "s3cret"},
+	} {
+		got, err := ParseHello(AppendHello(nil, h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatalf("got %+v, want %+v", got, h)
+		}
+	}
+	if _, err := ParseHello([]byte("NOPE\x01\x00")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ParseHello(append(AppendHello(nil, Hello{Version: 1}), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	w := Welcome{Version: Version, Server: "ideaserver"}
+	got, err := ParseWelcome(AppendWelcome(nil, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != w {
+		t.Fatalf("got %+v, want %+v", got, w)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := Request{
+		Text: `SELECT VALUE t FROM Tweets t WHERE t.score > $1 AND t.lang = $lang`,
+		Params: []Param{
+			{Name: "1", Value: adm.Double(4.5)},
+			{Name: "lang", Value: adm.String("en")},
+			{Name: "obj", Value: adm.ObjectValue(adm.ObjectFromPairs(
+				"id", adm.Int(7),
+				"tags", adm.Array([]adm.Value{adm.String("x"), adm.Null()}),
+			))},
+		},
+	}
+	got, err := ParseRequest(AppendRequest(nil, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text != req.Text || len(got.Params) != len(req.Params) {
+		t.Fatalf("got %+v", got)
+	}
+	for i, p := range got.Params {
+		if p.Name != req.Params[i].Name || adm.Compare(p.Value, req.Params[i].Value) != 0 {
+			t.Fatalf("param %d: got %s=%v", i, p.Name, p.Value)
+		}
+	}
+	if _, err := ParseRequest(append(AppendRequest(nil, req), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Columns: []string{"value"}}
+	got, err := ParseHeader(AppendHeader(nil, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Columns) != 1 || got.Columns[0] != "value" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRowBatchRoundTrip(t *testing.T) {
+	rows := []adm.Value{
+		adm.Int(1),
+		adm.String("two"),
+		adm.ObjectValue(adm.ObjectFromPairs("k", adm.Bool(true))),
+		adm.Null(),
+	}
+	br, err := NewBatchReader(AppendRowBatch(nil, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Len() != len(rows) {
+		t.Fatalf("Len = %d, want %d", br.Len(), len(rows))
+	}
+	for i, want := range rows {
+		v, ok, err := br.Next()
+		if err != nil || !ok {
+			t.Fatalf("row %d: ok=%v err=%v", i, ok, err)
+		}
+		if adm.Compare(v, want) != 0 {
+			t.Fatalf("row %d = %v, want %v", i, v, want)
+		}
+	}
+	if _, ok, err := br.Next(); ok || err != nil {
+		t.Fatalf("overran batch: ok=%v err=%v", ok, err)
+	}
+
+	// A count larger than the payload could carry is corrupt.
+	bad := binary.AppendUvarint(nil, 1000)
+	if _, err := NewBatchReader(bad); err == nil {
+		t.Fatal("inflated count accepted")
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	for _, e := range []ErrorMsg{
+		{Code: CodeUnknownDataset, Message: "idea: unknown dataset"},
+		{Code: CodeInternal, Message: "boom", HasStmt: true, Index: 2, Pos: 41, Snippet: "INSERT INTO Nope ..."},
+	} {
+		got, err := ParseError(AppendError(nil, e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != e {
+			t.Fatalf("got %+v, want %+v", got, e)
+		}
+	}
+}
+
+func TestExecResultsRoundTrip(t *testing.T) {
+	in := []StmtResult{
+		{Kind: "CREATE_DATASET", Pos: 0},
+		{Kind: "INSERT", Pos: 38, RowsAffected: 12},
+		{Kind: "START_FEED", Pos: 90, Feed: "TweetFeed"},
+	}
+	got, err := ParseExecResults(AppendExecResults(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("result %d = %+v, want %+v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestTrailerAndValueRoundTrip(t *testing.T) {
+	tr, err := ParseTrailer(AppendTrailer(nil, Trailer{Rows: 12345}))
+	if err != nil || tr.Rows != 12345 {
+		t.Fatalf("trailer = %+v, err %v", tr, err)
+	}
+	v := adm.ObjectValue(adm.ObjectFromPairs("rows_sent", adm.Int(99)))
+	got, err := ParseValue(AppendValue(nil, v))
+	if err != nil || adm.Compare(got, v) != 0 {
+		t.Fatalf("value = %v, err %v", got, err)
+	}
+	if _, err := ParseValue(append(AppendValue(nil, v), 7)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestPollFrame exercises the non-blocking probe over real TCP: quiet
+// peer, pending frame, dead peer.
+func TestPollFrame(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	client, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+	sc := NewConn(server)
+
+	// Quiet peer: no frame, no error.
+	if _, _, got, err := sc.PollFrame(MaxFrame, 10*time.Millisecond, time.Second); got || err != nil {
+		t.Fatalf("idle poll: got=%v err=%v", got, err)
+	}
+
+	// Pending frame: poll returns it.
+	if _, err := client.Write(AppendFrame(nil, TypeCloseRows, nil)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		typ, _, got, err := sc.PollFrame(MaxFrame, 10*time.Millisecond, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			if typ != TypeCloseRows {
+				t.Fatalf("type = %v", typ)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("frame never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Dead peer: poll reports the broken connection.
+	client.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_, _, got, err := sc.PollFrame(MaxFrame, 10*time.Millisecond, time.Second)
+		if err != nil {
+			break
+		}
+		if got {
+			t.Fatal("frame from closed peer")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("close never observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -120,6 +120,20 @@ func (c *Cluster) Close() error {
 	return c.inner.Close()
 }
 
+// Ping is a cheap liveness check: it reports nil while the cluster can
+// serve statements, ctx.Err() when the caller's context is done, and
+// ErrClusterClosed (wrapped) after Close. The wire server's admin ping
+// and the database/sql driver's Pinger are built on it.
+func (c *Cluster) Ping(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.inner.Closed() {
+		return fmt.Errorf("%w", ErrClusterClosed)
+	}
+	return nil
+}
+
 // MustExecute is Execute that panics on error (setup scripts in
 // examples and tests), with context.Background.
 func (c *Cluster) MustExecute(script string, args ...any) Results {
