@@ -35,6 +35,7 @@ func main() {
 		addr         = flag.String("addr", ":7654", "TCP listen address (host:port; port 0 picks a free port)")
 		nodes        = flag.Int("nodes", 1, "simulated cluster size")
 		dataDir      = flag.String("data-dir", "", "durable storage directory (empty: in-memory)")
+		blockCacheMB = flag.Int64("block-cache-mb", 0, "block cache budget in MiB for durable storage (0: default 64, negative: disabled)")
 		initScript   = flag.String("init", "", "SQL++ script file executed at boot (DDL, feeds)")
 		tlsCert      = flag.String("tls-cert", "", "TLS certificate file (with -tls-key enables TLS)")
 		tlsKey       = flag.String("tls-key", "", "TLS private key file")
@@ -48,7 +49,11 @@ func main() {
 	log.SetPrefix("ideaserver: ")
 	log.SetFlags(log.LstdFlags)
 
-	cluster, err := idea.NewCluster(idea.Config{Nodes: *nodes, DataDir: *dataDir})
+	cacheBytes := *blockCacheMB << 20
+	if *blockCacheMB < 0 {
+		cacheBytes = -1
+	}
+	cluster, err := idea.NewCluster(idea.Config{Nodes: *nodes, DataDir: *dataDir, BlockCacheBytes: cacheBytes})
 	if err != nil {
 		log.Fatalf("boot cluster: %v", err)
 	}

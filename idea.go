@@ -47,6 +47,11 @@ type Config struct {
 	// DataDir, recovered on the next boot. Empty (the default) keeps
 	// storage in memory — the original simulation behaviour.
 	DataDir string
+	// BlockCacheBytes budgets the durable read path's block cache,
+	// shared across every dataset partition. 0 selects the default
+	// (64 MiB); a negative value disables caching. Only meaningful with
+	// DataDir set.
+	BlockCacheBytes int64
 }
 
 // Cluster is a running simulated deployment plus its feed manager.
@@ -76,6 +81,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	tuning.Storage.GroupCommit = cfg.WALGroupCommit
 	tuning.DataDir = cfg.DataDir
+	tuning.BlockCacheBytes = cfg.BlockCacheBytes
 	inner, err := cluster.New(cfg.Nodes, tuning)
 	if err != nil {
 		return nil, err
@@ -375,6 +381,46 @@ func (f *Feed) Stats() (FeedStats, error) {
 		out.SpillBacklog = inner.SpillBacklog()
 	}
 	return out, nil
+}
+
+// StorageStats is a point-in-time snapshot of the durable read path:
+// the shared block cache plus the fence/bloom/block-read counters
+// summed over every dataset. All zero for in-memory clusters.
+type StorageStats struct {
+	// Block cache counters (zero when caching is disabled).
+	BlockCacheHits      uint64
+	BlockCacheMisses    uint64
+	BlockCacheEvictions uint64
+	BlockCacheEntries   int
+	BlockCachePinned    int
+	BlockCacheBytes     int64
+	// FenceSkips counts point lookups rejected by a run's key-range
+	// fences; BloomSkips those rejected by its bloom filter — both
+	// without touching a block. BlockReads counts framed block reads
+	// that reached the filesystem.
+	FenceSkips uint64
+	BloomSkips uint64
+	BlockReads uint64
+	// OpenRunFiles gauges the open on-disk run files (including retired
+	// ones kept alive by snapshots or cursors).
+	OpenRunFiles int
+}
+
+// StorageStats reports the cluster's durable read-path counters.
+func (c *Cluster) StorageStats() StorageStats {
+	s := c.inner.StorageStats()
+	return StorageStats{
+		BlockCacheHits:      s.BlockCacheHits,
+		BlockCacheMisses:    s.BlockCacheMisses,
+		BlockCacheEvictions: s.BlockCacheEvictions,
+		BlockCacheEntries:   s.BlockCacheEntries,
+		BlockCachePinned:    s.BlockCachePinned,
+		BlockCacheBytes:     s.BlockCacheBytes,
+		FenceSkips:          s.FenceSkips,
+		BloomSkips:          s.BloomSkips,
+		BlockReads:          s.BlockReads,
+		OpenRunFiles:        s.OpenRunFiles,
+	}
 }
 
 // DatasetLen returns the number of live records in a dataset.

@@ -50,6 +50,12 @@ type Tuning struct {
 	// MemFS for crash simulation). Nil with a DataDir set means the
 	// real filesystem.
 	StorageFS lsm.FS
+	// BlockCacheBytes is the cluster-wide byte budget of the durable
+	// read path's block cache, shared by every dataset partition. 0
+	// selects the default (lsm.DefaultBlockCacheBytes); negative
+	// disables caching. Ignored for in-memory storage (no DataDir) and
+	// when Storage.BlockCache is already set.
+	BlockCacheBytes int64
 }
 
 // DefaultTuning returns the documented defaults.
@@ -93,6 +99,7 @@ func (n *NodeController) Alive() bool { return !n.down.Load() }
 // catalog (it is the metadata node).
 type Cluster struct {
 	tuning Tuning
+	cache  *lsm.BlockCache // shared block cache (nil when disabled)
 	nodes  []*NodeController
 	jobSeq atomic.Uint64
 	closed atomic.Bool
@@ -116,8 +123,16 @@ func New(numNodes int, tuning Tuning) (*Cluster, error) {
 	if tuning.FrameCapacity <= 0 {
 		tuning.FrameCapacity = DefaultTuning().FrameCapacity
 	}
+	if tuning.DataDir != "" && tuning.Storage.BlockCache == nil && tuning.BlockCacheBytes >= 0 {
+		budget := tuning.BlockCacheBytes
+		if budget == 0 {
+			budget = lsm.DefaultBlockCacheBytes
+		}
+		tuning.Storage.BlockCache = lsm.NewBlockCache(budget)
+	}
 	c := &Cluster{
 		tuning:      tuning,
+		cache:       tuning.Storage.BlockCache,
 		datatypes:   make(map[string]*adm.Datatype),
 		datasets:    make(map[string]*lsm.Dataset),
 		functions:   make(map[string]*query.Function),
@@ -168,6 +183,49 @@ func (c *Cluster) LiveNodes() []int {
 
 // Tuning returns the cluster's tuning.
 func (c *Cluster) Tuning() Tuning { return c.tuning }
+
+// StorageStats aggregates the durable read path's counters across the
+// cluster: the shared block cache plus every dataset's fence/bloom/
+// block-read totals. All zero for in-memory storage.
+type StorageStats struct {
+	// Block cache (zero when caching is disabled).
+	BlockCacheHits      uint64
+	BlockCacheMisses    uint64
+	BlockCacheEvictions uint64
+	BlockCacheEntries   int
+	BlockCachePinned    int
+	BlockCacheBytes     int64
+	// Read-path work across all datasets.
+	FenceSkips   uint64
+	BloomSkips   uint64
+	BlockReads   uint64
+	OpenRunFiles int
+}
+
+// StorageStats returns a point-in-time snapshot of the read-path
+// counters.
+func (c *Cluster) StorageStats() StorageStats {
+	var st StorageStats
+	if c.cache != nil {
+		cs := c.cache.Stats()
+		st.BlockCacheHits = cs.Hits
+		st.BlockCacheMisses = cs.Misses
+		st.BlockCacheEvictions = cs.Evictions
+		st.BlockCacheEntries = cs.Entries
+		st.BlockCachePinned = cs.Pinned
+		st.BlockCacheBytes = cs.Bytes
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, ds := range c.datasets {
+		s := ds.Stats()
+		st.FenceSkips += s.FenceSkips
+		st.BloomSkips += s.BloomSkips
+		st.BlockReads += s.BlockReads
+		st.OpenRunFiles += s.OpenRuns
+	}
+	return st
+}
 
 // --- catalog (DDL surface) ---
 

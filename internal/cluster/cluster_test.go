@@ -7,6 +7,7 @@ import (
 
 	"github.com/ideadb/idea/internal/adm"
 	"github.com/ideadb/idea/internal/hyracks"
+	"github.com/ideadb/idea/internal/lsm"
 	"github.com/ideadb/idea/internal/query"
 )
 
@@ -208,5 +209,85 @@ func TestTuningDefaults(t *testing.T) {
 	}
 	if c.Tuning().HolderCapacity <= 0 || c.Tuning().FrameCapacity <= 0 {
 		t.Errorf("zero tuning not defaulted: %+v", c.Tuning())
+	}
+}
+
+// TestStorageStatsDurable checks that a durable cluster wires one
+// shared block cache into every partition and aggregates the read-path
+// counters across datasets.
+func TestStorageStatsDurable(t *testing.T) {
+	tuning := DefaultTuning()
+	tuning.DataDir = "data"
+	tuning.StorageFS = lsm.NewMemFS()
+	tuning.Storage.MemBudget = 4 << 10
+	c, err := New(2, tuning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.cache == nil {
+		t.Fatal("durable cluster did not build a block cache")
+	}
+	ds, err := c.CreateDataset("D", "", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		rec := adm.ObjectValue(adm.ObjectFromPairs("id", adm.Int(int64(i)), "pad", adm.String("pppppppppppppppppppppppppppppppp")))
+		if err := ds.Upsert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < ds.NumPartitions(); i++ {
+		ds.Partition(i).Flush()
+		if err := ds.Partition(i).WaitForFlush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two passes: the first fills the cache, the second hits it.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 400; i++ {
+			if _, ok := ds.Get(adm.Int(int64(i))); !ok {
+				t.Fatalf("key %d lost", i)
+			}
+		}
+		// Probes outside the stored range exercise fences/blooms.
+		if _, ok := ds.Get(adm.Int(10_000)); ok {
+			t.Fatal("phantom key")
+		}
+	}
+	st := c.StorageStats()
+	if st.OpenRunFiles == 0 || st.BlockReads == 0 {
+		t.Fatalf("no durable reads recorded: %+v", st)
+	}
+	if st.BlockCacheHits == 0 || st.BlockCacheEntries == 0 || st.BlockCacheBytes == 0 {
+		t.Fatalf("cache never hit: %+v", st)
+	}
+	// Pinned is a gauge: background compaction holds pins while its merge
+	// cursors stream, so wait for it to drain rather than asserting zero
+	// at an arbitrary instant.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.StorageStats().BlockCachePinned != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pins leaked: %+v", c.StorageStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.FenceSkips == 0 {
+		t.Fatalf("out-of-range probe did not fence-skip: %+v", st)
+	}
+
+	// A negative budget disables the cache entirely.
+	off := DefaultTuning()
+	off.DataDir = "data"
+	off.StorageFS = lsm.NewMemFS()
+	off.BlockCacheBytes = -1
+	c2, err := New(1, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.cache != nil {
+		t.Fatal("negative budget still built a cache")
 	}
 }

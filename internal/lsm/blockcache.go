@@ -1,0 +1,266 @@
+package lsm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/ideadb/idea/internal/index"
+)
+
+// BlockCache caches decoded run-file blocks ([]index.Item slices) so
+// warm point lookups and scans touch no filesystem and decode nothing.
+// One cache is shared by every partition of a cluster (the budget is a
+// deployment-level knob, like a buffer pool), keyed by (run file id,
+// block index) — run ids are process-unique, so a retired run's entries
+// can never be confused with its successor's.
+//
+// The cache is sharded to keep the lock off the read hot path's
+// profile; each shard runs its own LRU list under its own mutex within
+// an even split of the byte budget.
+//
+// # Pinning
+//
+// acquire/insert return the entry pinned: the caller may read
+// entry.items without holding any lock until it calls release. Pinned
+// entries are skipped by eviction, so a cursor parked mid-block cannot
+// have its items reclaimed, and a run retired by compaction
+// (BlockCache.dropRun) stays readable through outstanding pins — the
+// entry is unlinked from the cache immediately but its memory lives
+// until the last release. The budget is enforced at admission time:
+// inserts evict from the cold end until the shard fits, and a shard
+// whose entries are all pinned may transiently exceed its split.
+type BlockCache struct {
+	shardBudget int64
+	shards      [blockCacheShards]cacheShard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+const blockCacheShards = 8
+
+// DefaultBlockCacheBytes is the budget used when a durable cluster does
+// not set one explicitly.
+const DefaultBlockCacheBytes = 64 << 20
+
+// CacheStats is a point-in-time snapshot of BlockCache counters.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// Entries / Bytes gauge the cached population; Pinned counts entries
+	// currently held by readers.
+	Entries int
+	Pinned  int
+	Bytes   int64
+}
+
+type blockKey struct {
+	run   uint64
+	block int
+}
+
+// blockEntry is one cached decoded block. items is immutable once
+// published. pins and the LRU links are owned by the shard lock.
+type blockEntry struct {
+	key   blockKey
+	items []index.Item
+	size  int64
+
+	pins int
+	// dead marks an entry unlinked while pinned (dropRun of a retired
+	// run); release must not touch shard accounting for it again.
+	dead       bool
+	prev, next *blockEntry
+}
+
+// cacheShard is one LRU region: head is hottest, tail coldest.
+type cacheShard struct {
+	mu      sync.Mutex
+	used    int64
+	entries map[blockKey]*blockEntry
+	head    *blockEntry
+	tail    *blockEntry
+	pinned  int
+}
+
+// NewBlockCache creates a cache with the given byte budget across all
+// shards. Budgets smaller than the shard count are clamped so every
+// shard can hold at least something.
+func NewBlockCache(budget int64) *BlockCache {
+	if budget < blockCacheShards {
+		budget = blockCacheShards
+	}
+	c := &BlockCache{shardBudget: budget / blockCacheShards}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[blockKey]*blockEntry)
+	}
+	return c
+}
+
+func (c *BlockCache) shard(k blockKey) *cacheShard {
+	// Runs hold ~dozens of blocks; mixing the block index into the shard
+	// choice spreads one hot run across shards.
+	return &c.shards[(k.run*31+uint64(k.block))%blockCacheShards]
+}
+
+// acquire returns the cached entry pinned, or (nil, false) on a miss.
+func (c *BlockCache) acquire(run uint64, block int) (*blockEntry, bool) {
+	k := blockKey{run: run, block: block}
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	if e.pins == 0 {
+		s.pinned++
+	}
+	e.pins++
+	s.moveToFront(e)
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return e, true
+}
+
+// insert publishes a freshly decoded block and returns its entry
+// pinned. If another reader raced the same block in, the existing entry
+// wins (and is returned) so concurrent readers share one copy.
+func (c *BlockCache) insert(run uint64, block int, items []index.Item) *blockEntry {
+	k := blockKey{run: run, block: block}
+	size := itemsSize(items)
+	s := c.shard(k)
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		if e.pins == 0 {
+			s.pinned++
+		}
+		e.pins++
+		s.moveToFront(e)
+		s.mu.Unlock()
+		return e
+	}
+	e := &blockEntry{key: k, items: items, size: size, pins: 1}
+	s.entries[k] = e
+	s.pushFront(e)
+	s.pinned++
+	s.used += size
+	c.evictLocked(s)
+	s.mu.Unlock()
+	return e
+}
+
+// release drops one pin. The caller must not touch entry.items after.
+func (c *BlockCache) release(e *blockEntry) {
+	s := c.shard(e.key)
+	s.mu.Lock()
+	e.pins--
+	if e.pins == 0 && !e.dead {
+		s.pinned--
+	}
+	s.mu.Unlock()
+}
+
+// dropRun unlinks every entry of a retired run. Unpinned entries free
+// immediately; pinned ones are marked dead and their memory lives until
+// the holder releases.
+func (c *BlockCache) dropRun(run uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if k.run != run {
+				continue
+			}
+			delete(s.entries, k)
+			s.unlink(e)
+			s.used -= e.size
+			if e.pins > 0 {
+				s.pinned--
+				e.dead = true
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// evictLocked trims the shard's cold end (skipping pinned entries)
+// until it fits its budget split. Caller holds s.mu.
+func (c *BlockCache) evictLocked(s *cacheShard) {
+	e := s.tail
+	for s.used > c.shardBudget && e != nil {
+		prev := e.prev
+		if e.pins == 0 {
+			delete(s.entries, e.key)
+			s.unlink(e)
+			s.used -= e.size
+			c.evictions.Add(1)
+		}
+		e = prev
+	}
+}
+
+// Stats snapshots the cache counters and gauges.
+func (c *BlockCache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		st.Pinned += s.pinned
+		st.Bytes += s.used
+		s.mu.Unlock()
+	}
+	return st
+}
+
+func (s *cacheShard) pushFront(e *blockEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *blockEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if s.head == e {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *blockEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// itemsSize approximates a decoded block's memory footprint: the item
+// headers plus each value's payload.
+func itemsSize(items []index.Item) int64 {
+	size := int64(len(items)) * 16 // two Value headers' slice overhead
+	for _, it := range items {
+		size += int64(it.Key.MemSize() + it.Val.MemSize())
+	}
+	return size
+}

@@ -362,6 +362,20 @@ func (sc *ScanCursor) Next() (key, rec adm.Value, ok bool) {
 	}
 }
 
+// Close releases the cursor's run-file resources (block-cache pins and
+// file references held by the partition currently being streamed). A
+// fully drained cursor has already released everything; Close matters
+// for consumers that stop early (LIMIT-k) — the query layer calls it
+// through the rowSrc close chain. Idempotent; Next after Close reports
+// exhaustion.
+func (sc *ScanCursor) Close() {
+	if sc.cur != nil {
+		sc.cur.Close()
+		sc.cur = nil
+	}
+	sc.i = len(sc.snaps)
+}
+
 // Len counts live records across all partitions.
 func (d *Dataset) Len() int {
 	n := 0
@@ -537,6 +551,10 @@ func (d *Dataset) Stats() Stats {
 		total.FlushedRuns += s.FlushedRuns
 		total.Components += s.Components
 		total.MemEntries += s.MemEntries
+		total.FenceSkips += s.FenceSkips
+		total.BloomSkips += s.BloomSkips
+		total.BlockReads += s.BlockReads
+		total.OpenRuns += s.OpenRuns
 	}
 	return total
 }

@@ -103,7 +103,7 @@ func (p *Partition) flushOnce() (bool, error) {
 	// The component is immutable; write it without any partition lock.
 	seq := p.man.NextSeq
 	name := runFileName(seq)
-	rf, err := writeRun(p.fs, p.dir, name, []*component{c}, false)
+	rf, err := writeRun(p.fs, p.dir, name, []*component{c}, false, p.renv)
 	if err != nil {
 		return false, fmt.Errorf("lsm: flush: %w", err)
 	}
@@ -111,12 +111,7 @@ func (p *Partition) flushOnce() (bool, error) {
 	man := p.man
 	man.NextSeq = seq + 1
 	man.FlushedLSN = c.upToLSN
-	man.Runs = append(append([]runMeta(nil), man.Runs...), runMeta{
-		File:    name,
-		MaxLSN:  c.upToLSN,
-		Entries: rf.entries,
-		Bytes:   rf.size,
-	})
+	man.Runs = append(append([]runMeta(nil), man.Runs...), runMetaFor(name, c.upToLSN, rf))
 	// Snapshot the checkpoint table before the WAL truncation below can
 	// drop the segments the checkpoint entries live in. Including
 	// checkpoints newer than FlushedLSN is safe: a checkpoint is only
@@ -216,19 +211,14 @@ func (p *Partition) compactOnce() (bool, error) {
 	dropTombstones := lo == 0
 	seq := p.man.NextSeq
 	name := runFileName(seq)
-	rf, err := writeRun(p.fs, p.dir, name, comps, dropTombstones)
+	rf, err := writeRun(p.fs, p.dir, name, comps, dropTombstones, p.renv)
 	if err != nil {
 		return false, fmt.Errorf("lsm: compact: %w", err)
 	}
 
 	man := p.man
 	man.NextSeq = seq + 1
-	merged := runMeta{
-		File:    name,
-		MaxLSN:  man.Runs[hi-1].MaxLSN,
-		Entries: rf.entries,
-		Bytes:   rf.size,
-	}
+	merged := runMetaFor(name, man.Runs[hi-1].MaxLSN, rf)
 	newRuns := make([]runMeta, 0, len(man.Runs)-(hi-lo)+1)
 	newRuns = append(newRuns, man.Runs[:lo]...)
 	newRuns = append(newRuns, merged)
@@ -249,7 +239,18 @@ func (p *Partition) compactOnce() (bool, error) {
 	loC := len(p.components) - hi // component index of manifest run hi-1
 	hiC := len(p.components) - lo // one past manifest run lo
 	for _, pc := range p.components[loC:hiC] {
-		p.retired = append(p.retired, pc.run)
+		if pc.shared {
+			// A snapshot observed this component and snapshots carry no
+			// close protocol, so the file must stay open until partition
+			// Close.
+			p.retired = append(p.retired, pc.run)
+		} else {
+			// No snapshot can reach it and point lookups hold p.mu (we
+			// hold it exclusively); any cursor mid-run keeps its own file
+			// reference. Drop the owner reference now so the file closes
+			// as soon as the last reader finishes.
+			pc.run.retire()
+		}
 	}
 	spliced := make([]*component, 0, len(p.components)-(hi-lo)+1)
 	spliced = append(spliced, p.components[:loC]...)

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+
+	"github.com/ideadb/idea/internal/adm"
 )
 
 // The manifest is the durable root of a partition directory: it names
@@ -42,6 +44,24 @@ type runMeta struct {
 	MaxLSN  uint64 `json:"max_lsn"`
 	Entries int    `json:"entries"`
 	Bytes   int64  `json:"bytes"`
+	// FirstKey/LastKey are the run's key-range fences (adm binary
+	// encoding; JSON base64). Recovery cross-checks them against the
+	// fences derived from the run file itself — a mismatch means the
+	// manifest references a file it did not describe. Absent (nil) in
+	// manifests written before fences existed and for empty runs.
+	FirstKey []byte `json:"first_key,omitempty"`
+	LastKey  []byte `json:"last_key,omitempty"`
+}
+
+// runMetaFor describes a freshly written run for the manifest,
+// including its key-range fences.
+func runMetaFor(name string, maxLSN uint64, rf *runFile) runMeta {
+	rm := runMeta{File: name, MaxLSN: maxLSN, Entries: rf.entries, Bytes: rf.size}
+	if len(rf.blocks) > 0 {
+		rm.FirstKey = adm.AppendBinary(nil, rf.firstKey)
+		rm.LastKey = adm.AppendBinary(nil, rf.lastKey)
+	}
+	return rm
 }
 
 // loadManifest reads the manifest from dir. A missing manifest is a

@@ -53,6 +53,11 @@ type Options struct {
 	// WALSegBytes caps one durable WAL segment file (0 = default 4 MiB).
 	// Only durable partitions (OpenPartition) consult it.
 	WALSegBytes int64
+	// BlockCache, when non-nil, caches decoded run-file blocks across
+	// every partition sharing it (the cluster wires one shared cache).
+	// Nil reads every block from the filesystem. Only durable
+	// partitions consult it.
+	BlockCache *BlockCache
 }
 
 // DefaultOptions are sized for the in-process simulation: small enough
@@ -91,7 +96,10 @@ type component struct {
 
 func (c *component) get(key adm.Value) (adm.Value, bool) {
 	if c.run != nil {
-		return c.run.get(key)
+		kp := getProbe(key)
+		v, ok := c.run.get(kp)
+		putProbe(kp)
+		return v, ok
 	}
 	if c.tree != nil {
 		return c.tree.Get(key)
@@ -146,6 +154,14 @@ func (rc *runCursor) next() (index.Item, bool) {
 	return it, true
 }
 
+// close releases run-file resources (cursor pin + file reference).
+// Memory-backed cursors have nothing to release. Idempotent.
+func (rc *runCursor) close() {
+	if rc.fc != nil {
+		rc.fc.close()
+	}
+}
+
 // Stats is a point-in-time copy of partition activity counters;
 // experiments read these to explain throughput shapes.
 type Stats struct {
@@ -160,6 +176,15 @@ type Stats struct {
 	FlushedRuns uint64
 	Components  int
 	MemEntries  int
+	// Read-path skip counters (durable partitions): point lookups
+	// rejected by a run's key-range fence or bloom filter without any
+	// block read, and framed block reads that did hit the filesystem.
+	FenceSkips uint64
+	BloomSkips uint64
+	BlockReads uint64
+	// OpenRuns gauges run files currently open (component-backed plus
+	// retired-but-referenced).
+	OpenRuns int
 }
 
 // liveStats holds the counters that are written while only a read lock
@@ -200,6 +225,9 @@ type Partition struct {
 	// Durable state (OpenPartition); fs == nil means in-memory only.
 	fs  FS
 	dir string
+	// renv is the read-path environment (shared block cache + this
+	// partition's read counters) threaded into every run file opened.
+	renv runEnv
 	// flushMu serializes the flusher's work units (flush, compaction,
 	// manifest stores) against Close. man is flusher-owned: read or
 	// written only under flushMu.
@@ -227,6 +255,7 @@ func NewPartition(opts Options) *Partition {
 		opts: opts,
 		wal:  NewWAL(opts.GroupCommit),
 		mem:  index.NewBTree(),
+		renv: runEnv{rs: new(readStats)},
 	}
 	p.onNew = func(it index.Item) {
 		p.memBytes += it.Key.MemSize() + it.Val.MemSize()
@@ -733,13 +762,38 @@ func (p *Partition) getLocked(key adm.Value) (adm.Value, bool) {
 		}
 		return v, true
 	}
-	for _, c := range p.components {
-		if v, ok := c.get(key); ok {
+	return lookupComponents(p.components, key)
+}
+
+// lookupComponents point-looks-up key across components newest first,
+// mapping tombstones to not-found. Run-backed components share one
+// pooled probe, so the key's bloom hash is computed at most once per
+// lookup (and not at all when fences reject every run).
+func lookupComponents(comps []*component, key adm.Value) (adm.Value, bool) {
+	var kp *pointProbe
+	for _, c := range comps {
+		var v adm.Value
+		var ok bool
+		if c.run != nil {
+			if kp == nil {
+				kp = getProbe(key)
+			}
+			v, ok = c.run.get(kp)
+		} else {
+			v, ok = c.get(key)
+		}
+		if ok {
+			if kp != nil {
+				putProbe(kp)
+			}
 			if v.IsMissing() {
 				return adm.Value{}, false
 			}
 			return v, true
 		}
+	}
+	if kp != nil {
+		putProbe(kp)
 	}
 	return adm.Value{}, false
 }
@@ -791,6 +845,19 @@ func (p *Partition) Stats() Stats {
 	s.Gets = p.live.gets.Load()
 	s.Components = len(p.components)
 	s.MemEntries = p.mem.Len()
+	s.FenceSkips = p.renv.rs.fenceSkips.Load()
+	s.BloomSkips = p.renv.rs.bloomSkips.Load()
+	s.BlockReads = p.renv.rs.blockReads.Load()
+	for _, c := range p.components {
+		if c.run != nil && !c.run.closed.Load() {
+			s.OpenRuns++
+		}
+	}
+	for _, rf := range p.retired {
+		if !rf.closed.Load() {
+			s.OpenRuns++
+		}
+	}
 	return s
 }
 
@@ -811,15 +878,7 @@ type Snapshot struct {
 
 // Get performs a point lookup in the snapshot.
 func (s *Snapshot) Get(key adm.Value) (adm.Value, bool) {
-	for _, c := range s.components {
-		if v, ok := c.get(key); ok {
-			if v.IsMissing() {
-				return adm.Value{}, false
-			}
-			return v, true
-		}
-	}
-	return adm.Value{}, false
+	return lookupComponents(s.components, key)
 }
 
 // Scan visits every live record in primary-key order until fn returns
@@ -851,6 +910,12 @@ func (cu *Cursor) Next() (key, rec adm.Value, ok bool) {
 	return it.Key, it.Val, true
 }
 
+// Close releases the cursor's run-file resources (block-cache pins and
+// file references). A fully drained cursor has already released them;
+// Close matters for consumers that stop early (LIMIT-k) and is
+// idempotent.
+func (cu *Cursor) Close() { cu.m.Close() }
+
 // Len counts live records in the snapshot.
 func (s *Snapshot) Len() int {
 	n := 0
@@ -881,6 +946,7 @@ func scanMerged(comps []*component, fn func(key, rec adm.Value) bool) {
 
 func scanMergedItems(comps []*component, dropTombstones bool, fn func(index.Item) bool) {
 	m := newMergeCursor(comps, dropTombstones)
+	defer m.Close() // fn may stop the scan early
 	for {
 		it, ok := m.next()
 		if !ok {
@@ -946,5 +1012,14 @@ func (m *mergeCursor) next() (index.Item, bool) {
 			continue
 		}
 		return winner, true
+	}
+}
+
+// Close releases every input cursor's run-file resources. Exhausted
+// inputs have already released theirs; Close covers early-stopping
+// consumers. Idempotent.
+func (m *mergeCursor) Close() {
+	for i := range m.runs {
+		m.runs[i].close()
 	}
 }

@@ -43,6 +43,7 @@ func OpenPartition(fsys FS, dir string, opts Options) (*Partition, error) {
 		fs:          fsys,
 		dir:         dir,
 		man:         man,
+		renv:        runEnv{cache: opts.BlockCache, rs: new(readStats)},
 		flushC:      make(chan struct{}, 1),
 		flusherDone: make(chan struct{}),
 	}
@@ -57,8 +58,13 @@ func OpenPartition(fsys FS, dir string, opts Options) (*Partition, error) {
 	// Manifest runs are oldest first; components are newest first.
 	for i := len(man.Runs) - 1; i >= 0; i-- {
 		rm := man.Runs[i]
-		rf, err := openRun(fsys, dir, rm.File)
+		rf, err := openRun(fsys, dir, rm.File, p.renv)
 		if err != nil {
+			p.closeRunsLocked()
+			return nil, err
+		}
+		if err := checkFences(rm, rf); err != nil {
+			rf.close()
 			p.closeRunsLocked()
 			return nil, err
 		}
@@ -109,6 +115,28 @@ func OpenPartition(fsys FS, dir string, opts Options) (*Partition, error) {
 	}
 	p.mu.Unlock()
 	return p, nil
+}
+
+// checkFences cross-checks the key-range fences the manifest recorded
+// for a run against the ones derived from the file itself. Manifests
+// written before fences existed (nil FirstKey) are accepted as-is.
+func checkFences(rm runMeta, rf *runFile) error {
+	if rm.FirstKey == nil || len(rf.blocks) == 0 {
+		return nil
+	}
+	first, _, err := adm.DecodeBinary(rm.FirstKey)
+	if err != nil {
+		return fmt.Errorf("lsm: run %s: manifest first key: %w", rm.File, err)
+	}
+	last, _, err := adm.DecodeBinary(rm.LastKey)
+	if err != nil {
+		return fmt.Errorf("lsm: run %s: manifest last key: %w", rm.File, err)
+	}
+	if adm.Compare(first, rf.firstKey) != 0 || adm.Compare(last, rf.lastKey) != 0 {
+		return fmt.Errorf("lsm: run %s: manifest fences [%s, %s] do not match file fences [%s, %s]",
+			rm.File, first, last, rf.firstKey, rf.lastKey)
+	}
+	return nil
 }
 
 // removeOrphans deletes files in dir that neither the manifest nor the

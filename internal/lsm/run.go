@@ -17,23 +17,33 @@ import (
 // through the same runCursor/k-way merge machinery that walks
 // in-memory components.
 //
-// # On-disk format (version 1)
+// # On-disk format (version 2)
 //
-//	run      := header block* index footer
+//	run      := header block* bloom index footer
 //	header   := "IDEARUN" version:1B
 //	block    := payloadLen:4B-LE crc32c(payload):4B-LE payload
 //	payload  := count:uvarint (key:adm-binary record:adm-binary){count}
+//	bloom    := payloadLen:4B-LE crc32c(payload):4B-LE bpayload
+//	bpayload := nbits:uvarint bits:(nbits/8)B
 //	index    := payloadLen:4B-LE crc32c(payload):4B-LE ipayload
 //	ipayload := entries:uvarint blocks:uvarint
 //	            (off:uvarint len:uvarint firstKey:adm-binary){blocks}
+//	            bloomOff:uvarint bloomLen:uvarint lastKey:adm-binary
 //	footer   := indexOff:8B-LE "IDEARUNF"
+//
+// Version 1 files (no bloom section, ipayload stops after the block
+// entries) remain readable: the loader treats them as bloom-absent and
+// derives the last-key fence by decoding the final block once at open.
+// An empty run (a compaction that dropped every entry) writes
+// bloomOff=0 bloomLen=0 and a MISSING lastKey.
 //
 // Tombstones (MISSING records) are stored: a run flushed from a
 // memtable must shadow older runs. Only a compaction that includes the
 // oldest run drops them.
 const (
 	runMagic       = "IDEARUN"
-	runVersion     = 1
+	runVersion     = 2
+	runVersionV1   = 1
 	runHeaderSize  = len(runMagic) + 1
 	runFooterMagic = "IDEARUNF"
 	runFooterSize  = 8 + len(runFooterMagic)
@@ -44,6 +54,31 @@ const (
 	runBlockTarget = 16 << 10
 )
 
+// runFileSeq hands out process-unique run file ids — the run half of
+// the block cache key. Ids never repeat, so cache entries of a closed
+// run can never alias a newer file.
+var runFileSeq atomic.Uint64
+
+// readStats counts the read-path work of one partition's run files:
+// lookups skipped by key-range fences, lookups skipped by bloom
+// filters, and framed block reads that actually hit the filesystem.
+// Shared by every run the partition opens (including retired ones), so
+// the counters survive compaction.
+type readStats struct {
+	fenceSkips atomic.Uint64
+	bloomSkips atomic.Uint64
+	blockReads atomic.Uint64
+}
+
+// runEnv is the read-path environment threaded into every run file a
+// partition opens: the (cluster-shared) block cache and the partition's
+// read counters. The zero value — no cache, private counters — is what
+// standalone opens (tests) get.
+type runEnv struct {
+	cache *BlockCache
+	rs    *readStats
+}
+
 // runWriter streams sorted items into a run file.
 type runWriter struct {
 	f       File
@@ -51,9 +86,11 @@ type runWriter struct {
 	scratch []byte // current block payload being built (entries only)
 	count   int    // entries in the current block
 	first   []byte // encoded first key of the current block
+	last    []byte // encoded last key seen (fence)
 	frame   []byte // assembly buffer for framed blocks
 	blocks  []blockMeta
 	entries int
+	hashes  []uint64 // bloom hash per entry, in add order
 }
 
 // blockMeta locates one block and remembers its first key.
@@ -77,10 +114,14 @@ func (w *runWriter) writeHeader() error {
 }
 
 func (w *runWriter) add(it index.Item) error {
-	if w.count == 0 {
-		w.first = adm.AppendBinary(w.first[:0], it.Key)
-	}
+	keyStart := len(w.scratch)
 	w.scratch = adm.AppendBinary(w.scratch, it.Key)
+	keyEnc := w.scratch[keyStart:]
+	if w.count == 0 {
+		w.first = append(w.first[:0], keyEnc...)
+	}
+	w.last = append(w.last[:0], keyEnc...)
+	w.hashes = append(w.hashes, bloomHash(keyEnc))
 	w.scratch = adm.AppendBinary(w.scratch, it.Val)
 	w.count++
 	w.entries++
@@ -115,14 +156,45 @@ func (w *runWriter) flushBlock() error {
 	return nil
 }
 
-// finish flushes the tail block, writes the index and footer, and
-// fsyncs. It returns the total entry count and final file size.
+// writeFrame CRC-frames and writes one payload already assembled in
+// w.frame (which must start with 8 reserved header bytes).
+func (w *runWriter) writeFrame() error {
+	payload := w.frame[runBlockHeader:]
+	binary.LittleEndian.PutUint32(w.frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.frame[4:], crc32.Checksum(payload, crcTable))
+	if _, err := w.f.Write(w.frame); err != nil {
+		return err
+	}
+	w.off += int64(len(w.frame))
+	return nil
+}
+
+// finish flushes the tail block, writes the bloom section, index, and
+// footer, and fsyncs. It returns the total entry count and final file
+// size.
 func (w *runWriter) finish() (entries int, size int64, err error) {
 	if err := w.flushBlock(); err != nil {
 		return 0, 0, err
 	}
-	w.frame = w.frame[:0]
-	w.frame = append(w.frame, 0, 0, 0, 0, 0, 0, 0, 0)
+
+	// Bloom section: one filter over every key written. An empty run
+	// records offset 0 / length 0 (nothing to filter).
+	var bloomOff, bloomLen int64
+	if w.entries > 0 {
+		filter := newBloomFilter(w.entries)
+		for _, h := range w.hashes {
+			filter.insert(h)
+		}
+		bloomOff = w.off
+		w.frame = append(w.frame[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+		w.frame = filter.appendPayload(w.frame)
+		if err := w.writeFrame(); err != nil {
+			return 0, 0, err
+		}
+		bloomLen = w.off - bloomOff
+	}
+
+	w.frame = append(w.frame[:0], 0, 0, 0, 0, 0, 0, 0, 0)
 	w.frame = binary.AppendUvarint(w.frame, uint64(w.entries))
 	w.frame = binary.AppendUvarint(w.frame, uint64(len(w.blocks)))
 	for _, b := range w.blocks {
@@ -130,14 +202,17 @@ func (w *runWriter) finish() (entries int, size int64, err error) {
 		w.frame = binary.AppendUvarint(w.frame, uint64(b.length))
 		w.frame = adm.AppendBinary(w.frame, b.firstKey)
 	}
-	payload := w.frame[runBlockHeader:]
-	binary.LittleEndian.PutUint32(w.frame, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(w.frame[4:], crc32.Checksum(payload, crcTable))
+	w.frame = binary.AppendUvarint(w.frame, uint64(bloomOff))
+	w.frame = binary.AppendUvarint(w.frame, uint64(bloomLen))
+	if w.entries > 0 {
+		w.frame = append(w.frame, w.last...)
+	} else {
+		w.frame = adm.AppendBinary(w.frame, adm.Missing())
+	}
 	indexOff := w.off
-	if _, err := w.f.Write(w.frame); err != nil {
+	if err := w.writeFrame(); err != nil {
 		return 0, 0, err
 	}
-	w.off += int64(len(w.frame))
 	var footer [runFooterSize]byte
 	binary.LittleEndian.PutUint64(footer[:], uint64(indexOff))
 	copy(footer[8:], runFooterMagic)
@@ -153,8 +228,8 @@ func (w *runWriter) finish() (entries int, size int64, err error) {
 
 // writeRun streams a merge of comps (newest first) into a new run file
 // at pathname and makes it durable (file fsync + directory sync). It
-// returns an open reader over the written run.
-func writeRun(fsys FS, dir, name string, comps []*component, dropTombstones bool) (*runFile, error) {
+// returns an open reader over the written run, wired to env.
+func writeRun(fsys FS, dir, name string, comps []*component, dropTombstones bool, env runEnv) (*runFile, error) {
 	pathname := joinPath(dir, name)
 	f, err := fsys.Create(pathname)
 	if err != nil {
@@ -166,6 +241,7 @@ func writeRun(fsys FS, dir, name string, comps []*component, dropTombstones bool
 		return nil, err
 	}
 	m := newMergeCursor(comps, dropTombstones)
+	defer m.Close()
 	for {
 		it, ok := m.next()
 		if !ok {
@@ -186,18 +262,45 @@ func writeRun(fsys FS, dir, name string, comps []*component, dropTombstones bool
 	if err := fsys.SyncDir(dir); err != nil {
 		return nil, err
 	}
-	return openRun(fsys, dir, name)
+	return openRun(fsys, dir, name, env)
 }
 
-// runFile is an open, immutable on-disk run: the block index lives in
-// memory, records are decoded from blocks on demand. Point lookups and
-// cursors are safe for concurrent use (reads go through ReadAt).
+// runFile is an open, immutable on-disk run: the block index, bloom
+// filter, and key-range fences live in memory; records are decoded from
+// blocks on demand (through the block cache when one is wired). Point
+// lookups and cursors are safe for concurrent use (reads go through
+// ReadAt).
+//
+// # Lifecycle
+//
+// refs counts reasons the file must stay open: 1 for the owner (the
+// partition component or retired list) plus one per live runFileCursor.
+// retire drops the owner reference — compaction uses it for runs no
+// snapshot can reach — and the file closes when the count hits zero, so
+// a cursor mid-run keeps a retired file readable until it finishes.
+// close force-closes regardless (partition Close); both paths purge the
+// run's block-cache entries and are idempotent.
 type runFile struct {
 	name    string
 	f       File
+	id      uint64
 	size    int64
 	blocks  []blockMeta
 	entries int
+	version byte
+
+	// bloom is the per-run key filter (nil for v1 files and empty runs).
+	// firstKey/lastKey fence the run's key range; valid when the run has
+	// at least one block.
+	bloom    *bloomFilter
+	firstKey adm.Value
+	lastKey  adm.Value
+
+	cache *BlockCache
+	rs    *readStats
+
+	refs   atomic.Int32
+	closed atomic.Bool
 
 	// readErr records the first IO/corruption error hit by a reader;
 	// lookups degrade to not-found (the partition surfaces the error
@@ -205,15 +308,27 @@ type runFile struct {
 	readErr atomic.Pointer[error]
 }
 
-// openRun opens and validates a run file, loading its block index.
-func openRun(fsys FS, dir, name string) (*runFile, error) {
+// openRun opens and validates a run file, loading its block index,
+// bloom filter, and fences.
+func openRun(fsys FS, dir, name string, env runEnv) (*runFile, error) {
 	f, err := fsys.Open(joinPath(dir, name))
 	if err != nil {
 		return nil, err
 	}
-	r := &runFile{name: name, f: f}
+	if env.rs == nil {
+		env.rs = new(readStats)
+	}
+	r := &runFile{
+		name:  name,
+		f:     f,
+		id:    runFileSeq.Add(1),
+		cache: env.cache,
+		rs:    env.rs,
+	}
+	r.refs.Store(1) // owner reference
 	if err := r.load(); err != nil {
 		f.Close()
+		r.closed.Store(true)
 		return nil, fmt.Errorf("lsm: run %s: %w", name, err)
 	}
 	return r, nil
@@ -235,8 +350,9 @@ func (r *runFile) load() error {
 	if string(hdr[:len(runMagic)]) != runMagic {
 		return fmt.Errorf("bad magic")
 	}
-	if hdr[len(runMagic)] != runVersion {
-		return fmt.Errorf("unsupported version %d", hdr[len(runMagic)])
+	r.version = hdr[len(runMagic)]
+	if r.version != runVersion && r.version != runVersionV1 {
+		return fmt.Errorf("unsupported version %d", r.version)
 	}
 	var footer [runFooterSize]byte
 	if _, err := r.f.ReadAt(footer[:], size-int64(runFooterSize)); err != nil {
@@ -282,6 +398,65 @@ func (r *runFile) load() error {
 		pos += kn
 		r.blocks = append(r.blocks, blockMeta{off: int64(off), length: int(length), firstKey: key})
 	}
+	if r.version == runVersionV1 {
+		return r.loadFencesV1()
+	}
+	return r.loadExtrasV2(payload[pos:], indexOff)
+}
+
+// loadExtrasV2 parses the v2 index tail (bloom location + last key) and
+// loads the bloom section.
+func (r *runFile) loadExtrasV2(tail []byte, indexOff int64) error {
+	bloomOff, n := binary.Uvarint(tail)
+	if n <= 0 {
+		return fmt.Errorf("index: bad bloom offset")
+	}
+	bloomLen, ln := binary.Uvarint(tail[n:])
+	if ln <= 0 {
+		return fmt.Errorf("index: bad bloom length")
+	}
+	lastKey, _, err := adm.DecodeBinary(tail[n+ln:])
+	if err != nil {
+		return fmt.Errorf("index: last key: %w", err)
+	}
+	if len(r.blocks) > 0 {
+		r.firstKey = r.blocks[0].firstKey
+		r.lastKey = lastKey
+	}
+	if bloomLen == 0 {
+		return nil
+	}
+	if int64(bloomOff) < int64(runHeaderSize) || int64(bloomOff)+int64(bloomLen) > indexOff {
+		return fmt.Errorf("bloom section %d+%d out of range", bloomOff, bloomLen)
+	}
+	payload, err := r.readFrame(int64(bloomOff), int64(bloomLen))
+	if err != nil {
+		return fmt.Errorf("bloom: %w", err)
+	}
+	bloom, err := parseBloom(payload)
+	if err != nil {
+		return err
+	}
+	r.bloom = bloom
+	return nil
+}
+
+// loadFencesV1 derives the fences for a version-1 file (no persisted
+// last key): firstKey from the block index, lastKey by decoding the
+// final block once at open. v1 files have no bloom filter.
+func (r *runFile) loadFencesV1() error {
+	if len(r.blocks) == 0 {
+		return nil
+	}
+	r.firstKey = r.blocks[0].firstKey
+	items, err := r.readBlock(len(r.blocks)-1, nil)
+	if err != nil {
+		return fmt.Errorf("last block: %w", err)
+	}
+	if len(items) == 0 {
+		return fmt.Errorf("last block: empty")
+	}
+	r.lastKey = items[len(items)-1].Key
 	return nil
 }
 
@@ -307,8 +482,9 @@ func (r *runFile) readFrame(off, maxLen int64) ([]byte, error) {
 	return payload, nil
 }
 
-// readBlock decodes block i's items, appending into dst.
+// readBlock decodes block i's items from the file, appending into dst.
 func (r *runFile) readBlock(i int, dst []index.Item) ([]index.Item, error) {
+	r.rs.blockReads.Add(1)
 	b := r.blocks[i]
 	payload, err := r.readFrame(b.off, int64(b.length))
 	if err != nil {
@@ -335,6 +511,22 @@ func (r *runFile) readBlock(i int, dst []index.Item) ([]index.Item, error) {
 	return dst, nil
 }
 
+// cachedBlock returns block i's decoded items through the block cache:
+// a hit pins and returns the resident entry; a miss decodes from the
+// file and publishes the result pinned. The caller must release the
+// returned entry when done with items.
+func (r *runFile) cachedBlock(i int) ([]index.Item, *blockEntry, error) {
+	if e, ok := r.cache.acquire(r.id, i); ok {
+		return e.items, e, nil
+	}
+	items, err := r.readBlock(i, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := r.cache.insert(r.id, i, items)
+	return e.items, e, nil
+}
+
 func (r *runFile) fail(err error) {
 	e := fmt.Errorf("lsm: run %s: %w", r.name, err)
 	r.readErr.CompareAndSwap(nil, &e)
@@ -348,9 +540,24 @@ func (r *runFile) err() error {
 	return nil
 }
 
-// get performs a point lookup: binary-search the block index for the
-// last block whose first key is <= key, then scan that block.
-func (r *runFile) get(key adm.Value) (adm.Value, bool) {
+// get performs a point lookup: reject by key-range fence, then by bloom
+// filter, then binary-search the block index for the last block whose
+// first key is <= key and scan that one block (cache-resident when a
+// cache is wired; a pooled scratch otherwise, so the steady-state
+// lookup allocates nothing either way).
+func (r *runFile) get(kp *pointProbe) (adm.Value, bool) {
+	if len(r.blocks) == 0 {
+		return adm.Value{}, false
+	}
+	key := kp.key
+	if adm.Compare(key, r.firstKey) < 0 || adm.Compare(key, r.lastKey) > 0 {
+		r.rs.fenceSkips.Add(1)
+		return adm.Value{}, false
+	}
+	if r.bloom != nil && !r.bloom.mayContain(kp.keyHash()) {
+		r.rs.bloomSkips.Add(1)
+		return adm.Value{}, false
+	}
 	lo, hi := 0, len(r.blocks)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -363,8 +570,23 @@ func (r *runFile) get(key adm.Value) (adm.Value, bool) {
 	if lo == 0 {
 		return adm.Value{}, false
 	}
-	items, err := r.readBlock(lo-1, nil)
+	var (
+		items   []index.Item
+		ent     *blockEntry
+		scratch *[]index.Item
+		err     error
+	)
+	if r.cache != nil {
+		items, ent, err = r.cachedBlock(lo - 1)
+	} else {
+		scratch = getItemBatch(0)
+		items, err = r.readBlock(lo-1, (*scratch)[:0])
+		*scratch = items
+	}
 	if err != nil {
+		if scratch != nil {
+			putItemBatch(scratch)
+		}
 		r.fail(err)
 		return adm.Value{}, false
 	}
@@ -377,23 +599,68 @@ func (r *runFile) get(key adm.Value) (adm.Value, bool) {
 			b = mid
 		}
 	}
+	var val adm.Value
+	found := false
 	if a < len(items) && adm.Compare(items[a].Key, key) == 0 {
-		return items[a].Val, true
+		val, found = items[a].Val, true
 	}
-	return adm.Value{}, false
+	if ent != nil {
+		r.cache.release(ent)
+	}
+	if scratch != nil {
+		putItemBatch(scratch)
+	}
+	return val, found
 }
 
-func (r *runFile) close() error { return r.f.Close() }
+// incRef adds a keep-open reason (a cursor).
+func (r *runFile) incRef() { r.refs.Add(1) }
 
-// runFileCursor streams a run's items block by block in key order.
+// decRef drops one reason; the last one out closes the file.
+func (r *runFile) decRef() {
+	if r.refs.Add(-1) == 0 {
+		r.close()
+	}
+}
+
+// retire drops the owner reference: compaction calls it for replaced
+// runs that no snapshot can reach. The file closes now if no cursor is
+// mid-run, or when the last cursor finishes.
+func (r *runFile) retire() { r.decRef() }
+
+// close force-closes the file and purges its block-cache entries.
+// Idempotent; safe against concurrent decRef-driven closes.
+func (r *runFile) close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	if r.cache != nil {
+		r.cache.dropRun(r.id)
+	}
+	return r.f.Close()
+}
+
+// runFileCursor streams a run's items block by block in key order. The
+// cursor holds one run reference for its lifetime and (with a cache
+// wired) one pinned cache entry for its current block; both are
+// released at exhaustion or close. Abandoning an unexhausted cursor
+// without close leaks the reference until partition Close — the query
+// layer closes its cursors (rowSrc close chain), and merge consumers
+// run to exhaustion.
 type runFileCursor struct {
-	r     *runFile
-	block int
-	items []index.Item
-	pos   int
+	r      *runFile
+	block  int
+	items  []index.Item
+	pos    int
+	ent    *blockEntry  // pinned cache entry backing items, if any
+	own    []index.Item // reusable decode buffer (cache-off path)
+	closed bool
 }
 
-func (r *runFile) cursor() *runFileCursor { return &runFileCursor{r: r} }
+func (r *runFile) cursor() *runFileCursor {
+	r.incRef()
+	return &runFileCursor{r: r}
+}
 
 func (c *runFileCursor) next() (index.Item, bool) {
 	for {
@@ -402,16 +669,47 @@ func (c *runFileCursor) next() (index.Item, bool) {
 			c.pos++
 			return it, true
 		}
-		if c.block >= len(c.r.blocks) {
+		if c.closed || c.block >= len(c.r.blocks) {
+			c.close()
 			return index.Item{}, false
 		}
-		items, err := c.r.readBlock(c.block, c.items[:0])
-		if err != nil {
-			c.r.fail(err)
-			return index.Item{}, false
+		if c.ent != nil {
+			c.r.cache.release(c.ent)
+			c.ent = nil
 		}
-		c.items = items
+		if c.r.cache != nil {
+			items, ent, err := c.r.cachedBlock(c.block)
+			if err != nil {
+				c.r.fail(err)
+				c.close()
+				return index.Item{}, false
+			}
+			c.items, c.ent = items, ent
+		} else {
+			items, err := c.r.readBlock(c.block, c.own[:0])
+			if err != nil {
+				c.r.fail(err)
+				c.close()
+				return index.Item{}, false
+			}
+			c.own, c.items = items, items
+		}
 		c.pos = 0
 		c.block++
 	}
+}
+
+// close releases the cursor's pin and run reference. Idempotent; next
+// after close reports exhaustion.
+func (c *runFileCursor) close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.ent != nil {
+		c.r.cache.release(c.ent)
+		c.ent = nil
+	}
+	c.items = nil
+	c.r.decRef()
 }

@@ -186,6 +186,9 @@ func (c *ParallelScanCursor) scanWorker(s *Snapshot, filter func(key, rec adm.Va
 		defer close(out)
 	}
 	cur := s.Cursor()
+	// A Close-torn-down worker abandons its cursor mid-run: release its
+	// block-cache pin and run-file references.
+	defer cur.Close()
 	getBatch := func() []parItem {
 		select {
 		case b := <-c.free:

@@ -850,7 +850,7 @@ func (d *datasetCursor) next() (adm.Value, bool, error) {
 	return rec, ok, nil
 }
 
-func (d *datasetCursor) close() {}
+func (d *datasetCursor) close() { d.sc.Close() }
 
 // indexScanColl adapts a secondary-index range scan.
 type indexScanColl struct {

@@ -315,6 +315,15 @@ func (c *conn) statsReply() error {
 		"bytes_received", adm.Int(st.BytesReceived),
 		"errors", adm.Int(st.Errors),
 		"open_cursors", adm.Int(st.OpenCursors),
+		"block_cache_hits", adm.Int(int64(st.Storage.BlockCacheHits)),
+		"block_cache_misses", adm.Int(int64(st.Storage.BlockCacheMisses)),
+		"block_cache_evictions", adm.Int(int64(st.Storage.BlockCacheEvictions)),
+		"block_cache_entries", adm.Int(int64(st.Storage.BlockCacheEntries)),
+		"block_cache_bytes", adm.Int(st.Storage.BlockCacheBytes),
+		"bloom_skips", adm.Int(int64(st.Storage.BloomSkips)),
+		"fence_skips", adm.Int(int64(st.Storage.FenceSkips)),
+		"block_reads", adm.Int(int64(st.Storage.BlockReads)),
+		"open_run_files", adm.Int(int64(st.Storage.OpenRunFiles)),
 	)
 	c.body = wire.AppendValue(c.body[:0], adm.ObjectValue(o))
 	if err := c.wc.WriteFrame(wire.TypeStatsReply, c.body); err != nil {

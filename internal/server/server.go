@@ -102,6 +102,10 @@ type Stats struct {
 	// open — the leak detector: it must return to zero when no query is
 	// streaming, including after abrupt client death.
 	OpenCursors int64
+	// Storage holds the cluster's durable read-path counters (block
+	// cache, bloom/fence skips, block reads). All zero for in-memory
+	// clusters.
+	Storage idea.StorageStats
 }
 
 // Server serves the wire protocol over an idea.Cluster. Create with
@@ -166,6 +170,7 @@ func (s *Server) Stats() Stats {
 		st.BytesReceived += c.wc.BytesRead()
 	}
 	s.mu.Unlock()
+	st.Storage = s.cluster.StorageStats()
 	return st
 }
 

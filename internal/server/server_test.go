@@ -228,6 +228,17 @@ func TestPingAndStats(t *testing.T) {
 	if v.Field("sessions_active").IntVal() != 1 {
 		t.Fatalf("sessions_active = %v", v.Field("sessions_active"))
 	}
+	// The storage read-path counters ride next to open_cursors; an
+	// in-memory cluster reports them all zero, but they must be present.
+	for _, f := range []string{"block_cache_hits", "block_cache_misses", "block_cache_bytes", "bloom_skips", "fence_skips", "block_reads", "open_run_files"} {
+		fv := v.Field(f)
+		if fv.IsMissing() {
+			t.Fatalf("stats missing %q: %v", f, v)
+		}
+		if fv.IntVal() != 0 {
+			t.Fatalf("in-memory cluster reports %s = %v", f, fv)
+		}
+	}
 	if got := srv.Stats().ConnsAccepted; got != 1 {
 		t.Fatalf("ConnsAccepted = %d", got)
 	}
